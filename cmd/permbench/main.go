@@ -1,0 +1,451 @@
+// Command permbench regenerates the paper's evaluation (Figures 9-15 of
+// Glavic & Alonso, ICDE 2009) on the Go reimplementation.
+//
+// Usage:
+//
+//	permbench -fig all -sizes 0.001,0.01 -versions 10 -timeout 60s
+//
+// Figures:
+//
+//	9  — compilation-time overhead of the provenance rewriter on normal queries
+//	10 — TPC-H execution time, normal vs provenance
+//	11 — TPC-H result cardinality, normal vs provenance
+//	12 — set-operation queries (numSetOp 1..5)
+//	13 — SPJ queries (numSub 1..6)
+//	14 — nested aggregation (agg 1..10)
+//	15 — comparison with the Trio baseline (1000 selections)
+//
+// The paper's 10MB/100MB/1GB databases correspond to TPC-H scale factors
+// 0.01/0.1/1; this in-memory engine defaults to smaller scale factors with
+// the same relative shapes. Cells that exceed -timeout print "timeout"
+// (the black cells of Figs. 10/11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"perm"
+	"perm/internal/synth"
+	"perm/internal/tpch"
+	"perm/internal/trio"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 9..15 or all")
+		sizes    = flag.String("sizes", "0.001,0.01", "comma-separated TPC-H scale factors (paper: 0.01,0.1,1)")
+		versions = flag.Int("versions", 10, "query versions per data point (paper: 100)")
+		timeout  = flag.Duration("timeout", 120*time.Second, "per-cell time budget (paper: 12h)")
+		seed     = flag.Uint64("seed", 42, "PRNG seed for data and parameters")
+		flatten  = flag.Bool("flatten-setops", false, "use the Fig. 6(3a) set-operation rewrite variant")
+	)
+	flag.Parse()
+
+	var sfs []float64
+	for _, s := range strings.Split(*sizes, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad scale factor %q: %v\n", s, err)
+			os.Exit(1)
+		}
+		sfs = append(sfs, f)
+	}
+
+	h := &harness{
+		sfs:      sfs,
+		versions: *versions,
+		timeout:  *timeout,
+		seed:     *seed,
+		flatten:  *flatten,
+		dbs:      map[float64]*perm.Database{},
+	}
+
+	figs := map[string]func(){
+		"9": h.fig9, "10": h.fig10, "11": h.fig11, "12": h.fig12,
+		"13": h.fig13, "14": h.fig14, "15": h.fig15,
+	}
+	if *fig == "all" {
+		for _, k := range []string{"9", "10", "11", "12", "13", "14", "15"} {
+			figs[k]()
+		}
+		return
+	}
+	run, ok := figs[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (use 9..15 or all)\n", *fig)
+		os.Exit(1)
+	}
+	run()
+}
+
+type harness struct {
+	sfs      []float64
+	versions int
+	timeout  time.Duration
+	seed     uint64
+	flatten  bool
+	dbs      map[float64]*perm.Database
+}
+
+// db returns a (cached) database loaded at the given scale factor.
+func (h *harness) db(sf float64) *perm.Database {
+	if db, ok := h.dbs[sf]; ok {
+		return db
+	}
+	fmt.Fprintf(os.Stderr, "loading TPC-H SF %g ...\n", sf)
+	db := perm.NewDatabaseWithOptions(perm.Options{FlattenSetOps: h.flatten})
+	tpch.MustLoad(db, sf, h.seed)
+	h.dbs[sf] = db
+	return db
+}
+
+// cell is one measured table cell.
+type cell struct {
+	dur     time.Duration
+	rows    float64
+	timeout bool
+	err     error
+}
+
+func (c cell) timeString() string {
+	switch {
+	case c.err != nil:
+		return "error"
+	case c.timeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("%.4fs", c.dur.Seconds())
+	}
+}
+
+func (c cell) rowString() string {
+	switch {
+	case c.err != nil:
+		return "error"
+	case c.timeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("%.0f", c.rows)
+	}
+}
+
+// measure runs a set of query instances under the harness timeout and
+// returns the average duration and result cardinality.
+func (h *harness) measure(db *perm.Database, queries []tpch.Query) cell {
+	type outcome struct {
+		dur  time.Duration
+		rows int
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var total time.Duration
+		totalRows := 0
+		for _, q := range queries {
+			for _, s := range q.Setup {
+				if _, err := db.Exec(s); err != nil {
+					done <- outcome{err: err}
+					return
+				}
+			}
+			start := time.Now()
+			res, err := db.Query(q.Text)
+			total += time.Since(start)
+			for _, s := range q.Teardown {
+				db.Exec(s) //nolint:errcheck — teardown is best-effort
+			}
+			if err != nil {
+				done <- outcome{err: err}
+				return
+			}
+			totalRows += len(res.Rows)
+		}
+		done <- outcome{
+			dur:  total / time.Duration(len(queries)),
+			rows: totalRows / len(queries),
+		}
+	}()
+	select {
+	case o := <-done:
+		return cell{dur: o.dur, rows: float64(o.rows), err: o.err}
+	case <-time.After(h.timeout):
+		return cell{timeout: true}
+	}
+}
+
+// genVersions produces n parameterized instances of a TPC-H query.
+func (h *harness) genVersions(number, n int, prov bool) []tpch.Query {
+	r := tpch.NewRand(h.seed + uint64(number))
+	out := make([]tpch.Query, 0, n)
+	for i := 0; i < n; i++ {
+		q := tpch.MustQGen(number, r)
+		if prov {
+			q = q.Provenance()
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func header(title string, cols []string) {
+	fmt.Printf("\n=== %s ===\n", title)
+	fmt.Printf("%-10s", "Query")
+	for _, c := range cols {
+		fmt.Printf(" %14s", c)
+	}
+	fmt.Println()
+}
+
+// fig9 measures the compilation-time overhead the provenance rewriter adds
+// to NORMAL queries (parse+analyze+rewrite-stage vs parse+analyze), per
+// TPC-H query, and relates it to execution time per database size.
+func (h *harness) fig9() {
+	cols := []string{"absolute"}
+	for _, sf := range h.sfs {
+		cols = append(cols, fmt.Sprintf("rel SF=%g", sf))
+	}
+	header("Fig. 9: compilation-time overhead for normal queries", cols)
+	db := h.db(h.sfs[0])
+	const reps = 200
+	for _, n := range tpch.SupportedQueries() {
+		queries := h.genVersions(n, h.versions, false)
+		// Setup views once so compilation sees them.
+		for _, q := range queries {
+			for _, s := range q.Setup {
+				db.Exec(s) //nolint:errcheck
+			}
+		}
+		var base, withRewrite time.Duration
+		for _, q := range queries {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				if err := db.CompileOnly(q.Text); err != nil {
+					fmt.Printf("Q%-9d %14s\n", n, "error")
+					continue
+				}
+			}
+			base += time.Since(start)
+			start = time.Now()
+			for i := 0; i < reps; i++ {
+				if err := db.CompileWithRewrite(q.Text); err != nil {
+					break
+				}
+			}
+			withRewrite += time.Since(start)
+		}
+		for _, q := range queries {
+			for _, s := range q.Teardown {
+				db.Exec(s) //nolint:errcheck
+			}
+		}
+		overhead := (withRewrite - base) / time.Duration(reps*len(queries))
+		if overhead < 0 {
+			overhead = 0
+		}
+		fmt.Printf("Q%-9d %13.6fs", n, overhead.Seconds())
+		for _, sf := range h.sfs {
+			exec := h.measure(h.db(sf), h.genVersions(n, 1, false))
+			if exec.err != nil || exec.timeout || exec.dur == 0 {
+				fmt.Printf(" %14s", "-")
+				continue
+			}
+			fmt.Printf(" %13.2f%%", 100*overhead.Seconds()/exec.dur.Seconds())
+		}
+		fmt.Println()
+	}
+}
+
+func (h *harness) fig10() {
+	var cols []string
+	for _, sf := range h.sfs {
+		cols = append(cols, fmt.Sprintf("norm SF=%g", sf), fmt.Sprintf("prov SF=%g", sf))
+	}
+	header("Fig. 10: TPC-H execution time, normal vs provenance", cols)
+	for _, n := range tpch.SupportedQueries() {
+		fmt.Printf("Q%-9d", n)
+		for _, sf := range h.sfs {
+			db := h.db(sf)
+			norm := h.measure(db, h.genVersions(n, h.versions, false))
+			prov := h.measure(db, h.genVersions(n, h.versions, true))
+			fmt.Printf(" %14s %14s", norm.timeString(), prov.timeString())
+		}
+		fmt.Println()
+	}
+}
+
+func (h *harness) fig11() {
+	var cols []string
+	for _, sf := range h.sfs {
+		cols = append(cols, fmt.Sprintf("norm SF=%g", sf), fmt.Sprintf("prov SF=%g", sf))
+	}
+	header("Fig. 11: TPC-H number of result tuples", cols)
+	for _, n := range tpch.SupportedQueries() {
+		fmt.Printf("Q%-9d", n)
+		for _, sf := range h.sfs {
+			db := h.db(sf)
+			norm := h.measure(db, h.genVersions(n, h.versions, false))
+			prov := h.measure(db, h.genVersions(n, h.versions, true))
+			fmt.Printf(" %14s %14s", norm.rowString(), prov.rowString())
+		}
+		fmt.Println()
+	}
+}
+
+// synthCell measures a set of ad-hoc query strings.
+func (h *harness) synthCell(db *perm.Database, queries []string) cell {
+	qs := make([]tpch.Query, len(queries))
+	for i, q := range queries {
+		qs[i] = tpch.Query{Text: q}
+	}
+	return h.measure(db, qs)
+}
+
+func injectProv(q string) string {
+	idx := strings.Index(strings.ToUpper(q), "SELECT")
+	return q[:idx+6] + " PROVENANCE" + q[idx+6:]
+}
+
+func (h *harness) fig12() {
+	var cols []string
+	for _, sf := range h.sfs {
+		cols = append(cols, fmt.Sprintf("norm SF=%g", sf), fmt.Sprintf("prov SF=%g", sf))
+	}
+	header("Fig. 12: set-operation queries (union/intersect trees)", cols)
+	for numSetOp := 1; numSetOp <= 5; numSetOp++ {
+		fmt.Printf("n=%-8d", numSetOp)
+		for _, sf := range h.sfs {
+			db := h.db(sf)
+			maxKey := mustCount(db, "part")
+			r := tpch.NewRand(h.seed + uint64(numSetOp))
+			var norm, prov []string
+			for i := 0; i < h.versions; i++ {
+				q := synth.SetOpQuery(r, numSetOp, maxKey)
+				norm = append(norm, q)
+				prov = append(prov, injectProv(q))
+			}
+			fmt.Printf(" %14s %14s",
+				h.synthCell(db, norm).timeString(), h.synthCell(db, prov).timeString())
+		}
+		fmt.Println()
+	}
+}
+
+func (h *harness) fig13() {
+	var cols []string
+	for _, sf := range h.sfs {
+		cols = append(cols, fmt.Sprintf("norm SF=%g", sf), fmt.Sprintf("prov SF=%g", sf))
+	}
+	header("Fig. 13: SPJ queries (random join trees)", cols)
+	for numSub := 1; numSub <= 6; numSub++ {
+		fmt.Printf("n=%-8d", numSub)
+		for _, sf := range h.sfs {
+			db := h.db(sf)
+			maxKey := mustCount(db, "part")
+			r := tpch.NewRand(h.seed + uint64(numSub))
+			var norm, prov []string
+			for i := 0; i < h.versions; i++ {
+				q := synth.SPJQuery(r, numSub, maxKey)
+				norm = append(norm, q)
+				prov = append(prov, injectProv(q))
+			}
+			fmt.Printf(" %14s %14s",
+				h.synthCell(db, norm).timeString(), h.synthCell(db, prov).timeString())
+		}
+		fmt.Println()
+	}
+}
+
+func (h *harness) fig14() {
+	var cols []string
+	for _, sf := range h.sfs {
+		cols = append(cols, fmt.Sprintf("norm SF=%g", sf), fmt.Sprintf("prov SF=%g", sf))
+	}
+	header("Fig. 14: nested aggregation chains", cols)
+	for agg := 1; agg <= 10; agg++ {
+		fmt.Printf("agg=%-6d", agg)
+		for _, sf := range h.sfs {
+			db := h.db(sf)
+			partCount := mustCount(db, "part")
+			q := synth.AggChainQuery(agg, partCount)
+			fmt.Printf(" %14s %14s",
+				h.synthCell(db, []string{q}).timeString(),
+				h.synthCell(db, []string{injectProv(q)}).timeString())
+		}
+		fmt.Println()
+	}
+}
+
+func (h *harness) fig15() {
+	header("Fig. 15: comparison with Trio (1000 selections on supplier)",
+		[]string{"Trio", "Perm"})
+	for _, sf := range h.sfs {
+		db := h.db(sf)
+		maxKey := mustCount(db, "supplier")
+		r := tpch.NewRand(h.seed)
+		const queries = 1000
+
+		// Build the workload once.
+		selections := make([]string, queries)
+		for i := range selections {
+			selections[i] = synth.SupplierSelection(r, maxKey)
+		}
+
+		// Trio: derive eagerly (not measured, per the paper: "the
+		// provenance was computed beforehand"), then measure tracing.
+		sys := trio.New(db)
+		names := make([]string, queries)
+		deriveOK := true
+		for i, q := range selections {
+			names[i] = sys.FreshName()
+			if err := sys.Derive(names[i], q); err != nil {
+				fmt.Fprintf(os.Stderr, "trio derive failed: %v\n", err)
+				deriveOK = false
+				break
+			}
+		}
+		trioStr := "error"
+		if deriveOK {
+			start := time.Now()
+			for _, name := range names {
+				if _, err := sys.TraceAll(name); err != nil {
+					trioStr = "error"
+					break
+				}
+			}
+			trioStr = fmt.Sprintf("%.3fs", time.Since(start).Seconds())
+		}
+		for _, name := range names {
+			if name != "" {
+				sys.Drop(name) //nolint:errcheck — cleanup is best-effort
+			}
+		}
+
+		// Perm: lazy provenance computation of the same selections.
+		start := time.Now()
+		permErr := false
+		for _, q := range selections {
+			if _, err := db.Query(injectProv(q)); err != nil {
+				permErr = true
+				break
+			}
+		}
+		permStr := fmt.Sprintf("%.3fs", time.Since(start).Seconds())
+		if permErr {
+			permStr = "error"
+		}
+		fmt.Printf("SF=%-7g %14s %14s\n", sf, trioStr, permStr)
+	}
+}
+
+func mustCount(db *perm.Database, table string) int {
+	n, err := db.TableRowCount(table)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

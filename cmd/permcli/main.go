@@ -1,0 +1,167 @@
+// Command permcli is an interactive SQL shell for the Perm engine,
+// including the SQL-PLE provenance extensions of the paper:
+//
+//	SELECT PROVENANCE ...;
+//	EXPLAIN REWRITE SELECT PROVENANCE ...;   -- show the rewritten query q+
+//	EXPLAIN SELECT ...;                      -- show the physical plan
+//
+// Meta commands: \d (list tables/views), \tpch SF (load TPC-H data),
+// \i FILE (run a script), \q (quit).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"perm"
+	"perm/internal/tpch"
+)
+
+func main() {
+	var (
+		script  = flag.String("f", "", "execute a SQL script file and exit")
+		loadSF  = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor")
+		flatten = flag.Bool("flatten-setops", false, "use the Fig. 6(3a) set-operation rewrite variant")
+		timing  = flag.Bool("timing", true, "print execution times")
+	)
+	flag.Parse()
+
+	db := perm.NewDatabaseWithOptions(perm.Options{FlattenSetOps: *flatten})
+	if *loadSF > 0 {
+		fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)
+		tpch.MustLoad(db, *loadSF, 42)
+	}
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := runStatement(db, string(data), *timing); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("perm shell — SELECT PROVENANCE computes Why-provenance; \\q quits")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "perm> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if done := metaCommand(db, trimmed, *timing); done {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			prompt = "perm> "
+			if err := runStatement(db, stmt, *timing); err != nil {
+				fmt.Println("ERROR:", err)
+			}
+			continue
+		}
+		if buf.Len() > 0 {
+			prompt = "   -> "
+		}
+	}
+}
+
+// metaCommand handles backslash commands; returns true to quit.
+func metaCommand(db *perm.Database, cmd string, timing bool) bool {
+	switch {
+	case cmd == "\\q":
+		return true
+	case cmd == "\\d":
+		fmt.Println("Tables:")
+		for _, t := range db.Tables() {
+			n, _ := db.TableRowCount(t)
+			fmt.Printf("  %s (%d rows)\n", t, n)
+		}
+		fmt.Println("Views:")
+		for _, v := range db.Views() {
+			fmt.Printf("  %s\n", v)
+		}
+	case strings.HasPrefix(cmd, "\\tpch"):
+		arg := strings.TrimSpace(strings.TrimPrefix(cmd, "\\tpch"))
+		sf, err := strconv.ParseFloat(arg, 64)
+		if err != nil || sf <= 0 {
+			fmt.Println("usage: \\tpch <scale factor>, e.g. \\tpch 0.01")
+			return false
+		}
+		start := time.Now()
+		if _, err := tpch.Load(db, sf, 42); err != nil {
+			fmt.Println("ERROR:", err)
+			return false
+		}
+		fmt.Printf("loaded in %.2fs\n", time.Since(start).Seconds())
+	case strings.HasPrefix(cmd, "\\i"):
+		file := strings.TrimSpace(strings.TrimPrefix(cmd, "\\i"))
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+			return false
+		}
+		if err := runStatement(db, string(data), timing); err != nil {
+			fmt.Println("ERROR:", err)
+		}
+	default:
+		fmt.Println("meta commands: \\d  \\tpch SF  \\i FILE  \\q")
+	}
+	return false
+}
+
+// runStatement executes one or more statements, printing query results.
+func runStatement(db *perm.Database, text string, timing bool) error {
+	trimmed := strings.TrimSpace(text)
+	if trimmed == "" {
+		return nil
+	}
+	start := time.Now()
+	upper := strings.ToUpper(trimmed)
+	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") ||
+		strings.HasPrefix(upper, "(") {
+		res, err := db.Query(strings.TrimSuffix(trimmed, ";"))
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		fmt.Printf("(%d rows", len(res.Rows))
+		if n := res.NumProvColumns(); n > 0 {
+			fmt.Printf(", %d provenance columns", n)
+		}
+		fmt.Print(")\n")
+	} else {
+		n, err := db.Exec(trimmed)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Printf("%d rows affected\n", n)
+		} else {
+			fmt.Println("ok")
+		}
+	}
+	if timing {
+		fmt.Printf("time: %.4fs\n", time.Since(start).Seconds())
+	}
+	return nil
+}

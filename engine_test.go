@@ -1,0 +1,215 @@
+package perm_test
+
+import (
+	"strings"
+	"testing"
+
+	"perm"
+)
+
+// TestExecAffectedCounts checks DML row counts through the public API.
+func TestExecAffectedCounts(t *testing.T) {
+	db := perm.NewDatabase()
+	db.MustExec("CREATE TABLE t (a int)")
+	n, err := db.Exec("INSERT INTO t VALUES (1), (2), (3)")
+	if err != nil || n != 3 {
+		t.Fatalf("insert = %d, %v", n, err)
+	}
+	n, err = db.Exec("DELETE FROM t WHERE a >= 2")
+	if err != nil || n != 2 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+	// Multi-statement Exec returns the last DML count.
+	n, err = db.Exec("INSERT INTO t VALUES (9); INSERT INTO t VALUES (10), (11)")
+	if err != nil || n != 2 {
+		t.Fatalf("multi-statement = %d, %v", n, err)
+	}
+}
+
+// TestInsertColumnSubset checks column-list inserts and NULL defaults.
+func TestInsertColumnSubset(t *testing.T) {
+	db := perm.NewDatabase()
+	db.MustExec("CREATE TABLE t (a int, b text, c float)")
+	db.MustExec("INSERT INTO t (c, a) VALUES (1.5, 7)")
+	res := db.MustQuery("SELECT a, b, c FROM t")
+	row := res.Rows[0]
+	if row[0].Int() != 7 || !row[1].IsNull() || row[2].Float() != 1.5 {
+		t.Errorf("row = %v", row)
+	}
+	if _, err := db.Exec("INSERT INTO t (zzz) VALUES (1)"); err == nil {
+		t.Error("unknown insert column should fail")
+	}
+	if _, err := db.Exec("INSERT INTO t (a) VALUES (1, 2)"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// Type coercion on insert: int into float column, string into date.
+	db.MustExec("CREATE TABLE d (x date)")
+	db.MustExec("INSERT INTO d VALUES ('1999-01-02')")
+	res = db.MustQuery("SELECT x FROM d")
+	if res.Rows[0][0].String() != "1999-01-02" {
+		t.Errorf("date coercion = %s", res.Rows[0][0])
+	}
+}
+
+// TestResultString checks the table renderer.
+func TestResultString(t *testing.T) {
+	db := perm.NewDatabase()
+	db.MustExec("CREATE TABLE t (a int, name text); INSERT INTO t VALUES (1, 'long-value-here')")
+	out := db.MustQuery("SELECT * FROM t").String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "a") || !strings.Contains(lines[0], "name") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "long-value-here") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+// TestValueAccessors checks the public Value conversions.
+func TestValueAccessors(t *testing.T) {
+	db := perm.NewDatabase()
+	res := db.MustQuery("SELECT 42, 2.5, 'x', TRUE, NULL, date '1970-01-11'")
+	row := res.Rows[0]
+	if row[0].Int() != 42 || row[0].Float() != 42 {
+		t.Error("int accessors")
+	}
+	if row[1].Float() != 2.5 || row[1].Int() != 2 {
+		t.Error("float accessors")
+	}
+	if row[2].String() != "x" {
+		t.Error("string accessor")
+	}
+	if !row[3].Bool() {
+		t.Error("bool accessor")
+	}
+	if !row[4].IsNull() || row[4].Int() != 0 || row[4].String() != "NULL" {
+		t.Error("null accessors")
+	}
+	if row[5].Int() != 10 { // days since epoch
+		t.Errorf("date accessor = %d", row[5].Int())
+	}
+}
+
+// TestDeepNesting exercises deeply nested subqueries with provenance.
+func TestDeepNesting(t *testing.T) {
+	db := perm.NewDatabase()
+	db.MustExec("CREATE TABLE base (x int); INSERT INTO base VALUES (1), (2), (3)")
+	q := "SELECT x FROM base"
+	for i := 0; i < 8; i++ {
+		q = "SELECT x FROM (" + q + ") AS l" + string(rune('a'+i))
+	}
+	res, err := db.Query("SELECT PROVENANCE x FROM (" + q + ") AS top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.NumProvColumns() != 1 {
+		t.Fatalf("rows=%d prov=%d", len(res.Rows), res.NumProvColumns())
+	}
+}
+
+// TestManyRelationProvenance checks the provenance schema of a wide join
+// (all attributes of every relation appear, in range-table order).
+func TestManyRelationProvenance(t *testing.T) {
+	db := perm.NewDatabase()
+	var from []string
+	for _, n := range []string{"ta", "tb", "tc", "td", "te"} {
+		db.MustExec("CREATE TABLE " + n + " (k int, v int)")
+		db.MustExec("INSERT INTO " + n + " VALUES (1, 10)")
+		from = append(from, n)
+	}
+	res, err := db.Query("SELECT PROVENANCE ta.v FROM " + strings.Join(from, ", ") +
+		" WHERE ta.k = tb.k AND tb.k = tc.k AND tc.k = td.k AND td.k = te.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumProvColumns() != 10 {
+		t.Fatalf("prov columns = %d, want 10", res.NumProvColumns())
+	}
+	wantOrder := []string{"prov_ta_k", "prov_ta_v", "prov_tb_k", "prov_tb_v",
+		"prov_tc_k", "prov_tc_v", "prov_td_k", "prov_td_v", "prov_te_k", "prov_te_v"}
+	got := res.Columns[1:]
+	for i, w := range wantOrder {
+		if got[i] != w {
+			t.Fatalf("provenance order = %v, want %v", got, wantOrder)
+		}
+	}
+}
+
+// TestProvenanceViewStorageRoundTrip stores provenance eagerly and checks
+// incremental reuse produces the same lineage as direct computation.
+func TestProvenanceViewStorageRoundTrip(t *testing.T) {
+	db := exampleDB(t)
+	// Eager: store q+ as a table.
+	db.MustExec(`SELECT PROVENANCE sname, count(*) AS cnt
+		INTO stored_prov FROM sales GROUP BY sname`)
+	// Incremental: compute provenance of a query over the stored result.
+	res, err := db.Query(`
+		SELECT PROVENANCE cnt * 2
+		FROM stored_prov PROVENANCE (prov_sales_sname, prov_sales_itemid)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct: the equivalent one-shot provenance query.
+	direct := db.MustQuery(`
+		SELECT PROVENANCE cnt * 2 FROM
+		(SELECT sname, count(*) AS cnt FROM sales GROUP BY sname) AS q`)
+	if len(res.Rows) != len(direct.Rows) {
+		t.Fatalf("incremental %d rows vs direct %d rows", len(res.Rows), len(direct.Rows))
+	}
+}
+
+// TestErrorMessagesAreActionable spot-checks user-facing error text.
+func TestErrorMessagesAreActionable(t *testing.T) {
+	db := perm.NewDatabase()
+	db.MustExec("CREATE TABLE t (a int)")
+	_, err := db.Query("SELECT a FROM t WHERE a IN (SELECT b FROM t WHERE b = a)")
+	if err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Errorf("error = %v", err)
+	}
+	_, err = db.Query("SELEC a FROM t")
+	if err == nil || !strings.Contains(err.Error(), "syntax error") {
+		t.Errorf("error = %v", err)
+	}
+	_, err = db.Exec("CREATE TABLE t (a int)")
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+// TestQueryRejectsNonQuery ensures Query refuses DDL.
+func TestQueryRejectsNonQuery(t *testing.T) {
+	db := perm.NewDatabase()
+	if _, err := db.Query("CREATE TABLE t (a int)"); err == nil {
+		t.Error("Query should reject DDL")
+	}
+}
+
+// TestRewriteSQLIsExecutable: EXPLAIN REWRITE output must itself run and
+// produce the same rows as the provenance query (the whole point of the
+// approach: q+ is plain SQL).
+func TestRewriteSQLIsExecutable(t *testing.T) {
+	db := exampleDB(t)
+	queries := []string{
+		"SELECT PROVENANCE name FROM shop WHERE numempl > 5",
+		"SELECT PROVENANCE sname, count(*) AS c FROM sales GROUP BY sname",
+		"SELECT PROVENANCE name FROM shop UNION SELECT sname FROM sales",
+	}
+	for _, q := range queries {
+		rewritten, err := db.RewriteSQL(q)
+		if err != nil {
+			t.Fatalf("rewrite: %v", err)
+		}
+		direct := db.MustQuery(q)
+		viaSQL, err := db.Query(rewritten)
+		if err != nil {
+			t.Fatalf("rewritten SQL does not execute: %v\n%s", err, rewritten)
+		}
+		if len(direct.Rows) != len(viaSQL.Rows) {
+			t.Errorf("row count differs: direct %d vs rewritten-SQL %d for %q",
+				len(direct.Rows), len(viaSQL.Rows), q)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Data-warehouse lineage: the application domain the paper's introduction
+// motivates. A sales-report view aggregates order facts; an analyst spots
+// a suspicious figure and drills down to the exact source rows that
+// produced it — lazily, with one provenance query — then materializes the
+// provenance (eager storage, SELECT ... INTO) for later audits.
+package main
+
+import (
+	"fmt"
+
+	"perm"
+)
+
+func main() {
+	db := perm.NewDatabase()
+	db.MustExec(`
+		CREATE TABLE stores (store_id int, city text);
+		CREATE TABLE products (product_id int, category text, unit_price float);
+		CREATE TABLE facts (store_id int, product_id int, sale_day date, qty int);
+
+		INSERT INTO stores VALUES (1, 'Zurich'), (2, 'Shanghai'), (3, 'Boston');
+		INSERT INTO products VALUES
+			(10, 'coffee', 4.5), (11, 'tea', 3.0), (12, 'cocoa', 5.25);
+		INSERT INTO facts VALUES
+			(1, 10, '2009-03-29', 12), (1, 11, '2009-03-29', 5),
+			(1, 10, '2009-03-30', 900),  -- suspicious bulk row
+			(2, 12, '2009-03-29', 7), (2, 10, '2009-03-30', 20),
+			(3, 11, '2009-03-30', 9), (3, 12, '2009-03-30', 4);
+	`)
+
+	db.MustExec(`
+		CREATE VIEW revenue_report AS
+		SELECT city, category, sum(qty * unit_price) AS revenue
+		FROM facts, stores, products
+		WHERE facts.store_id = stores.store_id
+		  AND facts.product_id = products.product_id
+		GROUP BY city, category`)
+
+	fmt.Println("== the report ==")
+	fmt.Print(db.MustQuery("SELECT * FROM revenue_report ORDER BY revenue DESC"))
+
+	fmt.Println("\n== drill-down: why is Zurich/coffee so high? (lazy provenance) ==")
+	fmt.Print(db.MustQuery(`
+		SELECT PROVENANCE city, category, sum(qty * unit_price) AS revenue
+		FROM facts, stores, products
+		WHERE facts.store_id = stores.store_id
+		  AND facts.product_id = products.product_id
+		GROUP BY city, category`))
+
+	fmt.Println("\n== just the contributing fact rows for the suspicious cell ==")
+	fmt.Print(db.MustQuery(`
+		SELECT prov_facts_sale_day, prov_facts_qty
+		FROM (SELECT PROVENANCE city, category, sum(qty * unit_price) AS revenue
+		      FROM facts, stores, products
+		      WHERE facts.store_id = stores.store_id
+		        AND facts.product_id = products.product_id
+		      GROUP BY city, category) AS p
+		WHERE city = 'Zurich' AND category = 'coffee' AND prov_facts_qty > 100`))
+
+	fmt.Println("\n== eager storage: materialize provenance for audits (SELECT INTO) ==")
+	db.MustExec(`
+		SELECT PROVENANCE city, category, sum(qty * unit_price) AS revenue
+		INTO report_audit
+		FROM facts, stores, products
+		WHERE facts.store_id = stores.store_id
+		  AND facts.product_id = products.product_id
+		GROUP BY city, category`)
+	res := db.MustQuery("SELECT count(*) FROM report_audit")
+	fmt.Printf("report_audit stored with %s provenance rows\n", res.Rows[0][0])
+
+	fmt.Println("\n== later: audit the stored provenance with plain SQL ==")
+	fmt.Print(db.MustQuery(`
+		SELECT city, count(*) AS contributing_facts
+		FROM report_audit GROUP BY city ORDER BY city`))
+}

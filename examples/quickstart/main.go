@@ -1,0 +1,59 @@
+// Quickstart: the paper's running example (Fig. 2/4). Builds the
+// shop/sales/items database, runs the total-profit aggregation normally
+// and with PROVENANCE, shows the rewritten SQL, and demonstrates querying
+// provenance and data together (the q1 example of §III-D).
+package main
+
+import (
+	"fmt"
+
+	"perm"
+)
+
+func main() {
+	db := perm.NewDatabase()
+	db.MustExec(`
+		CREATE TABLE shop (name text, numempl int);
+		CREATE TABLE sales (sname text, itemid int);
+		CREATE TABLE items (id int, price int);
+		INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14);
+		INSERT INTO sales VALUES
+			('Merdies', 1), ('Merdies', 2), ('Merdies', 2), ('Joba', 3), ('Joba', 3);
+		INSERT INTO items VALUES (1, 100), (2, 10), (3, 25);
+	`)
+
+	fmt.Println("== total profit per shop (normal query) ==")
+	fmt.Print(db.MustQuery(`
+		SELECT name, sum(price) AS total
+		FROM shop, sales, items
+		WHERE name = sname AND itemid = id
+		GROUP BY name`))
+
+	fmt.Println("\n== the same query with PROVENANCE (the paper's Fig. 4 result) ==")
+	fmt.Print(db.MustQuery(`
+		SELECT PROVENANCE name, sum(price) AS total
+		FROM shop, sales, items
+		WHERE name = sname AND itemid = id
+		GROUP BY name`))
+
+	fmt.Println("\n== the rewritten query q+ (plain SQL — EXPLAIN REWRITE) ==")
+	rewritten, err := db.RewriteSQL(`
+		SELECT PROVENANCE name, sum(price) AS total
+		FROM shop, sales, items
+		WHERE name = sname AND itemid = id
+		GROUP BY name`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rewritten)
+
+	fmt.Println("\n== querying provenance and data together (§III-D q1) ==")
+	fmt.Println("items sold by shops with total sales over 100:")
+	fmt.Print(db.MustQuery(`
+		SELECT DISTINCT prov_items_id
+		FROM (SELECT PROVENANCE name, sum(price) AS total
+		      FROM shop, sales, items
+		      WHERE name = sname AND itemid = id
+		      GROUP BY name) AS p
+		WHERE total > 100`))
+}

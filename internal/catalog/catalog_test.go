@@ -1,0 +1,115 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+
+	"perm/internal/sql"
+	"perm/internal/types"
+)
+
+func intCol(name string) Column { return Column{Name: name, Type: types.KindInt} }
+
+func TestCreateAndLookup(t *testing.T) {
+	c := New()
+	tab, err := c.CreateTable("t", []Column{intCol("a"), intCol("b")}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ColIndex("b") != 1 || tab.ColIndex("zzz") != -1 {
+		t.Error("ColIndex wrong")
+	}
+	got, ok := c.Table("t")
+	if !ok || got != tab {
+		t.Error("lookup failed")
+	}
+	if _, ok := c.Table("nope"); ok {
+		t.Error("phantom table")
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("t", nil, false); err == nil {
+		t.Error("empty column list must fail")
+	}
+	if _, err := c.CreateTable("t", []Column{intCol("a"), intCol("a")}, false); err == nil {
+		t.Error("duplicate column must fail")
+	}
+	if _, err := c.CreateTable("t", []Column{intCol("a")}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("t", []Column{intCol("a")}, false); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	// IF NOT EXISTS returns the existing table.
+	tab, err := c.CreateTable("t", []Column{intCol("x")}, true)
+	if err != nil || tab.ColIndex("a") != 0 {
+		t.Errorf("IF NOT EXISTS = %v, %v", tab, err)
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := New()
+	stmt, err := sql.Parse("SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*sql.SelectStmt)
+	if err := c.CreateView("v", sel, "SELECT 1", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView("v", sel, "", false); err == nil {
+		t.Error("duplicate view must fail")
+	}
+	if err := c.CreateView("v", sel, "", true); err != nil {
+		t.Errorf("OR REPLACE failed: %v", err)
+	}
+	if _, err := c.CreateTable("v", []Column{intCol("a")}, false); err == nil {
+		t.Error("table/view name collision must fail")
+	}
+	if err := c.Drop("v", true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("v", true, false); err == nil {
+		t.Error("dropping missing view must fail")
+	}
+	if err := c.Drop("v", true, true); err != nil {
+		t.Error("IF EXISTS must not fail")
+	}
+}
+
+func TestNameListings(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.CreateTable(n, []Column{intCol("a")}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.TableNames()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("TableNames = %v (must be sorted)", names)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("t", []Column{intCol("a")}, false); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if _, ok := c.Table("t"); !ok {
+					t.Error("table vanished")
+					return
+				}
+				c.TableNames()
+			}
+		}()
+	}
+	wg.Wait()
+}

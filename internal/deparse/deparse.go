@@ -1,0 +1,273 @@
+// Package deparse renders analyzed query trees back to SQL text. It is
+// used to inspect the output of the provenance rewriter (EXPLAIN REWRITE)
+// — the rewritten query q+ is itself plain SQL, which is the point of the
+// paper's approach.
+//
+// The output is faithful for the engine's dialect but intended for humans:
+// provenance attribute names, generated aliases and null-safe comparisons
+// appear exactly as the rewriter produced them.
+package deparse
+
+import (
+	"fmt"
+	"strings"
+
+	"perm/internal/algebra"
+)
+
+// Query renders a query tree as SQL.
+func Query(q *algebra.Query) string {
+	var sb strings.Builder
+	writeQuery(&sb, q, 0)
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func writeQuery(sb *strings.Builder, q *algebra.Query, depth int) {
+	if q.IsSetOp() {
+		writeSetOpItem(sb, q, q.SetOp, depth)
+		writeSortLimit(sb, q, depth)
+		return
+	}
+	indent(sb, depth)
+	sb.WriteString("SELECT ")
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, te := range q.TargetList {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		rendered := expr(te.Expr, q)
+		sb.WriteString(rendered)
+		if te.Name != "" && rendered != te.Name && !strings.HasSuffix(rendered, "."+te.Name) {
+			sb.WriteString(" AS ")
+			sb.WriteString(te.Name)
+		}
+	}
+	if len(q.From) > 0 {
+		sb.WriteString("\n")
+		indent(sb, depth)
+		sb.WriteString("FROM ")
+		for i, fi := range q.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeFromItem(sb, fi, q, depth)
+		}
+	}
+	if q.Where != nil {
+		sb.WriteString("\n")
+		indent(sb, depth)
+		sb.WriteString("WHERE ")
+		sb.WriteString(expr(q.Where, q))
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString("\n")
+		indent(sb, depth)
+		sb.WriteString("GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(expr(g, q))
+		}
+	}
+	if q.Having != nil {
+		sb.WriteString("\n")
+		indent(sb, depth)
+		sb.WriteString("HAVING ")
+		sb.WriteString(expr(q.Having, q))
+	}
+	writeSortLimit(sb, q, depth)
+}
+
+func writeSortLimit(sb *strings.Builder, q *algebra.Query, depth int) {
+	if len(q.OrderBy) > 0 {
+		sb.WriteString("\n")
+		indent(sb, depth)
+		sb.WriteString("ORDER BY ")
+		for i, si := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			if v, ok := si.Expr.(*algebra.Var); ok && v.RT == -1 {
+				fmt.Fprintf(sb, "%d", v.Col+1)
+			} else {
+				sb.WriteString(expr(si.Expr, q))
+			}
+			if si.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if q.Limit != nil {
+		fmt.Fprintf(sb, "\nLIMIT %s", expr(q.Limit, q))
+	}
+	if q.Offset != nil {
+		fmt.Fprintf(sb, "\nOFFSET %s", expr(q.Offset, q))
+	}
+}
+
+func writeSetOpItem(sb *strings.Builder, q *algebra.Query, item algebra.SetOpItem, depth int) {
+	switch n := item.(type) {
+	case *algebra.SetOpLeaf:
+		rte := q.RangeTable[n.RT]
+		sb.WriteString("(\n")
+		writeQuery(sb, rte.Subquery, depth+1)
+		sb.WriteString("\n")
+		indent(sb, depth)
+		sb.WriteString(")")
+	case *algebra.SetOpNode:
+		writeSetOpItem(sb, q, n.Left, depth)
+		sb.WriteString("\n")
+		indent(sb, depth)
+		sb.WriteString(n.Op.String())
+		if n.All {
+			sb.WriteString(" ALL")
+		}
+		sb.WriteString("\n")
+		indent(sb, depth)
+		writeSetOpItem(sb, q, n.Right, depth)
+	}
+}
+
+func writeFromItem(sb *strings.Builder, fi algebra.FromItem, q *algebra.Query, depth int) {
+	switch n := fi.(type) {
+	case *algebra.FromRef:
+		rte := q.RangeTable[n.RT]
+		switch rte.Kind {
+		case algebra.RTERelation:
+			sb.WriteString(rte.RelName)
+			if rte.Alias != rte.RelName {
+				sb.WriteString(" AS ")
+				sb.WriteString(rte.Alias)
+			}
+		case algebra.RTESubquery:
+			sb.WriteString("(\n")
+			writeQuery(sb, rte.Subquery, depth+1)
+			sb.WriteString("\n")
+			indent(sb, depth)
+			sb.WriteString(") AS ")
+			sb.WriteString(rte.Alias)
+		default:
+			sb.WriteString(rte.Alias)
+		}
+	case *algebra.FromJoin:
+		sb.WriteString("(")
+		writeFromItem(sb, n.Left, q, depth)
+		sb.WriteString(" ")
+		sb.WriteString(n.Kind.String())
+		sb.WriteString(" ")
+		writeFromItem(sb, n.Right, q, depth)
+		if n.Cond != nil {
+			sb.WriteString(" ON ")
+			sb.WriteString(expr(n.Cond, q))
+		}
+		sb.WriteString(")")
+	}
+}
+
+// expr renders an expression. Vars are qualified with the alias of their
+// range-table entry.
+func expr(e algebra.Expr, q *algebra.Query) string {
+	switch n := e.(type) {
+	case nil:
+		return "NULL"
+	case *algebra.Var:
+		if n.RT == -1 {
+			return n.Name // output-column reference
+		}
+		if n.RT >= 0 && n.RT < len(q.RangeTable) {
+			rte := q.RangeTable[n.RT]
+			name := n.Name
+			if n.Col < len(rte.Cols) {
+				name = rte.Cols[n.Col].Name
+			}
+			return rte.Alias + "." + name
+		}
+		return n.Name
+	case *algebra.Const:
+		return n.Val.SQLLiteral()
+	case *algebra.BinOp:
+		return "(" + expr(n.Left, q) + " " + n.Op + " " + expr(n.Right, q) + ")"
+	case *algebra.UnOp:
+		if n.Op == "NOT" {
+			return "NOT (" + expr(n.Expr, q) + ")"
+		}
+		return "(" + n.Op + expr(n.Expr, q) + ")"
+	case *algebra.IsNull:
+		if n.Not {
+			return "(" + expr(n.Expr, q) + " IS NOT NULL)"
+		}
+		return "(" + expr(n.Expr, q) + " IS NULL)"
+	case *algebra.DistinctFrom:
+		op := " IS DISTINCT FROM "
+		if n.Not {
+			op = " IS NOT DISTINCT FROM "
+		}
+		return "(" + expr(n.Left, q) + op + expr(n.Right, q) + ")"
+	case *algebra.FuncCall:
+		if strings.HasPrefix(n.Name, "extract_") {
+			field := strings.ToUpper(strings.TrimPrefix(n.Name, "extract_"))
+			return "EXTRACT(" + field + " FROM " + expr(n.Args[0], q) + ")"
+		}
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = expr(a, q)
+		}
+		return n.Name + "(" + strings.Join(args, ", ") + ")"
+	case *algebra.AggRef:
+		if n.Star {
+			return "count(*)"
+		}
+		inner := expr(n.Arg, q)
+		if n.Distinct {
+			inner = "DISTINCT " + inner
+		}
+		return n.Fn.String() + "(" + inner + ")"
+	case *algebra.CaseExpr:
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		for _, w := range n.Whens {
+			sb.WriteString(" WHEN ")
+			sb.WriteString(expr(w.Cond, q))
+			sb.WriteString(" THEN ")
+			sb.WriteString(expr(w.Result, q))
+		}
+		if n.Else != nil {
+			sb.WriteString(" ELSE ")
+			sb.WriteString(expr(n.Else, q))
+		}
+		sb.WriteString(" END")
+		return sb.String()
+	case *algebra.Cast:
+		return "CAST(" + expr(n.Expr, q) + " AS " + n.To.String() + ")"
+	case *algebra.SubLink:
+		var sb strings.Builder
+		switch n.Kind {
+		case algebra.SubExists:
+			sb.WriteString("EXISTS ")
+		case algebra.SubAny:
+			sb.WriteString(expr(n.Test, q))
+			if n.Op == "=" {
+				sb.WriteString(" IN ")
+			} else {
+				sb.WriteString(" " + n.Op + " ANY ")
+			}
+		case algebra.SubAll:
+			sb.WriteString(expr(n.Test, q) + " " + n.Op + " ALL ")
+		}
+		sb.WriteString("(\n")
+		writeQuery(&sb, n.Query, 1)
+		sb.WriteString("\n)")
+		return sb.String()
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

@@ -1,0 +1,1175 @@
+// Package plan lowers analyzed (and possibly provenance-rewritten) query
+// trees to physical executor trees. It performs the optimizations the
+// paper relies on PostgreSQL for (Fig. 5 "Planer"): WHERE-conjunct
+// extraction and pushdown, greedy equi-join ordering over implicit cross
+// products, hash-join selection (including null-safe keys for the
+// rewriter's join-back conditions), and aggregate/set-operation/sort
+// planning.
+package plan
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/catalog"
+	"perm/internal/eval"
+	"perm/internal/exec"
+	"perm/internal/types"
+)
+
+// Planner plans query trees against a catalog.
+type Planner struct {
+	cat *catalog.Catalog
+}
+
+// New returns a planner.
+func New(cat *catalog.Catalog) *Planner { return &Planner{cat: cat} }
+
+// Plan lowers a query tree to an executable node.
+func (p *Planner) Plan(q *algebra.Query) (exec.Node, error) {
+	pl, err := p.planQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return pl.node, nil
+}
+
+// planned is a plan fragment: an executor node plus the layout of its
+// output row and a crude cardinality estimate for join ordering.
+type planned struct {
+	node exec.Node
+	// layout maps range-table index → offset of that entry's columns in
+	// the output row.
+	layout map[int]int
+	// kinds of the output row columns, in order.
+	kinds []types.Kind
+	// rts is the set of range-table entries contained in this fragment.
+	rts map[int]bool
+	est float64
+}
+
+func (p *Planner) planQuery(q *algebra.Query) (*planned, error) {
+	if q.IsSetOp() {
+		return p.planSetOp(q)
+	}
+	return p.planPlain(q)
+}
+
+// ---------------------------------------------------------------------------
+// Set operations
+
+func (p *Planner) planSetOp(q *algebra.Query) (*planned, error) {
+	branches := make(map[int]*planned)
+	for rt, rte := range q.RangeTable {
+		sub, err := p.planQuery(rte.Subquery)
+		if err != nil {
+			return nil, err
+		}
+		branches[rt] = sub
+	}
+	pl, err := p.foldSetOp(q.SetOp, branches)
+	if err != nil {
+		return nil, err
+	}
+	node := pl.node
+	est := pl.est
+	node, err = p.applySortLimit(q, node, len(q.TargetList), nil)
+	if err != nil {
+		return nil, err
+	}
+	schema := q.Schema()
+	return &planned{node: node, kinds: schema.Kinds(), est: est}, nil
+}
+
+func (p *Planner) foldSetOp(item algebra.SetOpItem, branches map[int]*planned) (*planned, error) {
+	switch n := item.(type) {
+	case *algebra.SetOpLeaf:
+		return branches[n.RT], nil
+	case *algebra.SetOpNode:
+		left, err := p.foldSetOp(n.Left, branches)
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.foldSetOp(n.Right, branches)
+		if err != nil {
+			return nil, err
+		}
+		var kind exec.SetOpKind
+		switch n.Op {
+		case algebra.SetUnion:
+			kind = exec.Union
+		case algebra.SetIntersect:
+			kind = exec.Intersect
+		case algebra.SetExcept:
+			kind = exec.Except
+		}
+		return &planned{
+			node:  exec.NewSetOp(left.node, right.node, kind, n.All),
+			kinds: left.kinds,
+			est:   left.est + right.est,
+		}, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown set operation item %T", item)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Plain queries
+
+func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
+	// 1. FROM clause: plan items and join them, distributing WHERE
+	// conjuncts.
+	input, err := p.planFrom(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Aggregation or plain projection.
+	var node exec.Node
+	var outWidth = len(q.TargetList)
+	if q.HasAggs {
+		node, err = p.planAggregation(q, input)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		binder := &rowBinder{p: p, layout: input.layout}
+		exprs := make([]algebra.Expr, len(q.TargetList))
+		for i, te := range q.TargetList {
+			exprs[i] = te.Expr
+		}
+		// Hidden sort columns for ORDER BY expressions that are not plain
+		// output references.
+		extraSort := p.extraSortExprs(q)
+		exprs = append(exprs, extraSort...)
+		fns, err := eval.CompileAll(exprs, binder)
+		if err != nil {
+			return nil, err
+		}
+		node = exec.NewProject(input.node, fns)
+	}
+
+	// 3. DISTINCT.
+	if q.Distinct {
+		node = exec.NewDistinct(node)
+	}
+
+	// 4. ORDER BY / LIMIT / OFFSET (strips hidden sort columns).
+	node, err = p.applySortLimit(q, node, outWidth, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	schema := q.Schema()
+	est := input.est
+	if q.HasAggs {
+		est = est/2 + 1
+	}
+	return &planned{node: node, kinds: schema.Kinds(), est: est}, nil
+}
+
+// extraSortExprs returns ORDER BY expressions that must be computed as
+// hidden output columns (everything that is not a Var{OutputRT}).
+func (p *Planner) extraSortExprs(q *algebra.Query) []algebra.Expr {
+	var out []algebra.Expr
+	for _, si := range q.OrderBy {
+		if v, ok := si.Expr.(*algebra.Var); ok && v.RT == outputRT {
+			continue
+		}
+		out = append(out, si.Expr)
+	}
+	return out
+}
+
+// outputRT is the pseudo range-table index the analyzer uses for Vars that
+// reference the query's own output columns.
+const outputRT = -1
+
+// applySortLimit adds Sort/Limit nodes. outWidth is the real output width;
+// hidden sort columns (if any) sit beyond it and are stripped afterwards.
+// mapExpr optionally rewrites sort expressions (aggregation mapping).
+func (p *Planner) applySortLimit(q *algebra.Query, node exec.Node, outWidth int, _ interface{}) (exec.Node, error) {
+	if len(q.OrderBy) > 0 {
+		keys := make([]exec.SortKey, 0, len(q.OrderBy))
+		hidden := outWidth
+		for _, si := range q.OrderBy {
+			if v, ok := si.Expr.(*algebra.Var); ok && v.RT == outputRT {
+				keys = append(keys, exec.SortKey{Pos: v.Col, Desc: si.Desc})
+				continue
+			}
+			keys = append(keys, exec.SortKey{Pos: hidden, Desc: si.Desc})
+			hidden++
+		}
+		node = exec.NewSort(node, keys)
+		if hidden > outWidth {
+			// Strip hidden columns.
+			fns := make([]eval.Func, outWidth)
+			for i := 0; i < outWidth; i++ {
+				pos := i
+				fns[i] = func(ctx *eval.Ctx) (types.Value, error) { return ctx.Row[pos], nil }
+			}
+			node = exec.NewProject(node, fns)
+		}
+	}
+	var count, offset int64 = -1, 0
+	if q.Limit != nil {
+		count = q.Limit.(*algebra.Const).Val.I
+	}
+	if q.Offset != nil {
+		offset = q.Offset.(*algebra.Const).Val.I
+	}
+	if count >= 0 || offset > 0 {
+		node = exec.NewLimit(node, count, offset)
+	}
+	return node, nil
+}
+
+// ---------------------------------------------------------------------------
+// FROM planning and join ordering
+
+func (p *Planner) planFrom(q *algebra.Query) (*planned, error) {
+	if len(q.From) == 0 {
+		// FROM-less query: a single empty row drives the projection.
+		pl := &planned{
+			node:   exec.NewScan([]types.Row{{}}),
+			layout: map[int]int{},
+			rts:    map[int]bool{},
+			est:    1,
+		}
+		if q.Where != nil {
+			binder := &rowBinder{p: p, layout: pl.layout}
+			pred, err := eval.Compile(q.Where, binder)
+			if err != nil {
+				return nil, err
+			}
+			pl.node = exec.NewFilter(pl.node, pred)
+		}
+		return pl, nil
+	}
+
+	items := make([]*planned, 0, len(q.From))
+	for _, fi := range q.From {
+		pl, err := p.planFromItem(fi, q)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, pl)
+	}
+	conjuncts := algebra.Conjuncts(hoistCommonOrConjuncts(q.Where))
+
+	// Push single-fragment conjuncts down as filters.
+	var remaining []algebra.Expr
+	for _, c := range conjuncts {
+		used := algebra.VarsUsed(c)
+		target := -1
+		for i, it := range items {
+			if subset(used, it.rts) {
+				target = i
+				break
+			}
+		}
+		// Conjuncts with sublinks are kept above joins unless trivially
+		// local, to keep subplan evaluation count low.
+		if target >= 0 {
+			binder := &rowBinder{p: p, layout: items[target].layout}
+			pred, err := eval.Compile(c, binder)
+			if err != nil {
+				return nil, err
+			}
+			items[target].node = exec.NewFilter(items[target].node, pred)
+			items[target].est *= 0.3
+			continue
+		}
+		remaining = append(remaining, c)
+	}
+
+	// Greedy join ordering: repeatedly join the cheapest connected pair.
+	for len(items) > 1 {
+		bestI, bestJ := -1, -1
+		bestConnected := false
+		var bestCost float64
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				connected := hasEquiConjunct(remaining, items[i], items[j])
+				cost := items[i].est * items[j].est
+				if connected {
+					cost = maxf(items[i].est, items[j].est)
+				}
+				better := false
+				switch {
+				case bestI < 0:
+					better = true
+				case connected && !bestConnected:
+					better = true
+				case connected == bestConnected && cost < bestCost:
+					better = true
+				}
+				if better {
+					bestI, bestJ, bestConnected, bestCost = i, j, connected, cost
+				}
+			}
+		}
+		left, right := items[bestI], items[bestJ]
+		// Gather all conjuncts answerable by this pair.
+		combinedRTs := unionSets(left.rts, right.rts)
+		var usable, rest []algebra.Expr
+		for _, c := range remaining {
+			if subset(algebra.VarsUsed(c), combinedRTs) && !algebra.ContainsSubLink(c) {
+				usable = append(usable, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		joined, err := p.buildJoin(left, right, algebra.JoinInner, algebra.AndAll(usable))
+		if err != nil {
+			return nil, err
+		}
+		remaining = rest
+		items = append(items[:bestJ], items[bestJ+1:]...)
+		items[bestI] = joined
+	}
+
+	result := items[0]
+	if len(remaining) > 0 {
+		binder := &rowBinder{p: p, layout: result.layout}
+		pred, err := eval.Compile(algebra.AndAll(remaining), binder)
+		if err != nil {
+			return nil, err
+		}
+		result.node = exec.NewFilter(result.node, pred)
+		result.est *= 0.3
+	}
+	return result, nil
+}
+
+// hoistCommonOrConjuncts factors conjuncts shared by every branch of an
+// OR out of the disjunction: (A AND x) OR (A AND y) → A AND (x OR y).
+// TPC-H Q19 buries its equi-join predicate inside such a disjunction;
+// without the factoring the join degenerates to a cross product.
+func hoistCommonOrConjuncts(e algebra.Expr) algebra.Expr {
+	if e == nil {
+		return nil
+	}
+	b, ok := e.(*algebra.BinOp)
+	if !ok {
+		return e
+	}
+	switch b.Op {
+	case "AND":
+		left := hoistCommonOrConjuncts(b.Left)
+		right := hoistCommonOrConjuncts(b.Right)
+		return &algebra.BinOp{Op: "AND", Left: left, Right: right, Typ: types.KindBool}
+	case "OR":
+		branches := disjuncts(e)
+		if len(branches) < 2 {
+			return e
+		}
+		branchConjuncts := make([][]algebra.Expr, len(branches))
+		for i, br := range branches {
+			branchConjuncts[i] = algebra.Conjuncts(br)
+		}
+		var common []algebra.Expr
+		for _, cand := range branchConjuncts[0] {
+			inAll := true
+			for _, others := range branchConjuncts[1:] {
+				found := false
+				for _, o := range others {
+					if algebra.EqualExpr(cand, o) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					inAll = false
+					break
+				}
+			}
+			if inAll {
+				common = append(common, cand)
+			}
+		}
+		if len(common) == 0 {
+			return e
+		}
+		// Rebuild each branch without one occurrence of each common
+		// conjunct; an emptied branch makes the residual OR trivially true.
+		residualTrue := false
+		var residuals []algebra.Expr
+		for _, bc := range branchConjuncts {
+			var rest []algebra.Expr
+			used := make([]bool, len(common))
+			for _, c := range bc {
+				matched := false
+				for ci, cm := range common {
+					if !used[ci] && algebra.EqualExpr(c, cm) {
+						used[ci] = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					rest = append(rest, c)
+				}
+			}
+			if len(rest) == 0 {
+				residualTrue = true
+				break
+			}
+			residuals = append(residuals, algebra.AndAll(rest))
+		}
+		out := algebra.AndAll(common)
+		if !residualTrue {
+			var orExpr algebra.Expr
+			for _, r := range residuals {
+				if orExpr == nil {
+					orExpr = r
+				} else {
+					orExpr = &algebra.BinOp{Op: "OR", Left: orExpr, Right: r, Typ: types.KindBool}
+				}
+			}
+			out = &algebra.BinOp{Op: "AND", Left: out, Right: orExpr, Typ: types.KindBool}
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+// disjuncts splits an expression into its top-level OR branches.
+func disjuncts(e algebra.Expr) []algebra.Expr {
+	if b, ok := e.(*algebra.BinOp); ok && b.Op == "OR" {
+		return append(disjuncts(b.Left), disjuncts(b.Right)...)
+	}
+	return []algebra.Expr{e}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func subset(vars map[int]bool, rts map[int]bool) bool {
+	for rt := range vars {
+		if !rts[rt] {
+			return false
+		}
+	}
+	return true
+}
+
+func unionSets(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// hasEquiConjunct reports whether any conjunct equi-connects the two
+// fragments.
+func hasEquiConjunct(conjuncts []algebra.Expr, a, b *planned) bool {
+	for _, c := range conjuncts {
+		if l, r, _, ok := equiSides(c); ok {
+			lu, ru := algebra.VarsUsed(l), algebra.VarsUsed(r)
+			if len(lu) == 0 || len(ru) == 0 {
+				continue
+			}
+			if (subset(lu, a.rts) && subset(ru, b.rts)) || (subset(lu, b.rts) && subset(ru, a.rts)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// equiSides decomposes an equality conjunct into its two sides. It
+// recognizes plain '=' and the null-safe IS NOT DISTINCT FROM that the
+// provenance rewriter emits.
+func equiSides(c algebra.Expr) (left, right algebra.Expr, nullSafe, ok bool) {
+	switch n := c.(type) {
+	case *algebra.BinOp:
+		if n.Op == "=" && !algebra.ContainsSubLink(n.Left) && !algebra.ContainsSubLink(n.Right) {
+			return n.Left, n.Right, false, true
+		}
+	case *algebra.DistinctFrom:
+		if n.Not {
+			return n.Left, n.Right, true, true
+		}
+	}
+	return nil, nil, false, false
+}
+
+// buildJoin joins two fragments with the given condition, choosing a hash
+// join when equi-keys are extractable.
+func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond algebra.Expr) (*planned, error) {
+	combined := &planned{
+		layout: make(map[int]int, len(left.layout)+len(right.layout)),
+		kinds:  append(append([]types.Kind{}, left.kinds...), right.kinds...),
+		rts:    unionSets(left.rts, right.rts),
+	}
+	for rt, off := range left.layout {
+		combined.layout[rt] = off
+	}
+	shift := len(left.kinds)
+	for rt, off := range right.layout {
+		combined.layout[rt] = off + shift
+	}
+
+	var jt exec.JoinType
+	switch kind {
+	case algebra.JoinInner, algebra.JoinCross:
+		jt = exec.InnerJoin
+	case algebra.JoinLeft:
+		jt = exec.LeftJoin
+	case algebra.JoinRight:
+		jt = exec.RightJoin
+	case algebra.JoinFull:
+		jt = exec.FullJoin
+	}
+
+	// Try to extract equi-keys for a hash join.
+	var leftKeyExprs, rightKeyExprs []algebra.Expr
+	var nullSafe []bool
+	var residual []algebra.Expr
+	for _, c := range algebra.Conjuncts(cond) {
+		l, r, ns, ok := equiSides(c)
+		if ok {
+			lu, ru := algebra.VarsUsed(l), algebra.VarsUsed(r)
+			switch {
+			case subset(lu, left.rts) && subset(ru, right.rts) && len(lu) > 0 && len(ru) > 0:
+				leftKeyExprs = append(leftKeyExprs, l)
+				rightKeyExprs = append(rightKeyExprs, r)
+				nullSafe = append(nullSafe, ns)
+				continue
+			case subset(ru, left.rts) && subset(lu, right.rts) && len(lu) > 0 && len(ru) > 0:
+				leftKeyExprs = append(leftKeyExprs, r)
+				rightKeyExprs = append(rightKeyExprs, l)
+				nullSafe = append(nullSafe, ns)
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+
+	combinedBinder := &rowBinder{p: p, layout: combined.layout}
+	if len(leftKeyExprs) > 0 {
+		leftBinder := &rowBinder{p: p, layout: left.layout}
+		rightBinder := &rowBinder{p: p, layout: shiftedLayout(right.layout, 0)}
+		lk, err := eval.CompileAll(leftKeyExprs, leftBinder)
+		if err != nil {
+			return nil, err
+		}
+		rk, err := eval.CompileAll(rightKeyExprs, rightBinder)
+		if err != nil {
+			return nil, err
+		}
+		var res eval.Func
+		if len(residual) > 0 {
+			var err error
+			res, err = eval.Compile(algebra.AndAll(residual), combinedBinder)
+			if err != nil {
+				return nil, err
+			}
+		}
+		combined.node = exec.NewHashJoin(left.node, right.node, lk, rk, nullSafe, res, jt, left.kinds, right.kinds)
+		combined.est = maxf(left.est, right.est)
+		return combined, nil
+	}
+
+	var condFn eval.Func
+	if cond != nil {
+		var err error
+		condFn, err = eval.Compile(cond, combinedBinder)
+		if err != nil {
+			return nil, err
+		}
+	}
+	combined.node = exec.NewNestedLoopJoin(left.node, right.node, condFn, jt, left.kinds, right.kinds)
+	combined.est = left.est * right.est
+	if cond != nil {
+		combined.est = combined.est*0.3 + 1
+	}
+	return combined, nil
+}
+
+// shiftedLayout returns a copy of a layout rebased to the given start.
+func shiftedLayout(layout map[int]int, base int) map[int]int {
+	out := make(map[int]int, len(layout))
+	minOff := -1
+	for _, off := range layout {
+		if minOff < 0 || off < minOff {
+			minOff = off
+		}
+	}
+	for rt, off := range layout {
+		out[rt] = off - minOff + base
+	}
+	return out
+}
+
+func (p *Planner) planFromItem(fi algebra.FromItem, q *algebra.Query) (*planned, error) {
+	switch n := fi.(type) {
+	case *algebra.FromRef:
+		return p.planRTE(n.RT, q.RangeTable[n.RT])
+	case *algebra.FromJoin:
+		left, err := p.planFromItem(n.Left, q)
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.planFromItem(n.Right, q)
+		if err != nil {
+			return nil, err
+		}
+		return p.buildJoin(left, right, n.Kind, n.Cond)
+	default:
+		return nil, fmt.Errorf("plan: unknown from item %T", fi)
+	}
+}
+
+func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
+	switch rte.Kind {
+	case algebra.RTERelation:
+		t, ok := p.cat.Table(rte.RelName)
+		if !ok {
+			return nil, fmt.Errorf("plan: table %q disappeared", rte.RelName)
+		}
+		rows := t.Heap.Snapshot()
+		return &planned{
+			node:   exec.NewScan(rows),
+			layout: map[int]int{rt: 0},
+			kinds:  rte.Cols.Kinds(),
+			rts:    map[int]bool{rt: true},
+			est:    float64(len(rows)) + 1,
+		}, nil
+	case algebra.RTESubquery:
+		sub, err := p.planQuery(rte.Subquery)
+		if err != nil {
+			return nil, err
+		}
+		return &planned{
+			node:   sub.node,
+			layout: map[int]int{rt: 0},
+			kinds:  rte.Cols.Kinds(),
+			rts:    map[int]bool{rt: true},
+			est:    sub.est,
+		}, nil
+	case algebra.RTEValues:
+		var rows []types.Row
+		binder := &rowBinder{p: p, layout: map[int]int{}}
+		var ctx eval.Ctx
+		for _, exprRow := range rte.Rows {
+			fns, err := eval.CompileAll(exprRow, binder)
+			if err != nil {
+				return nil, err
+			}
+			row := make(types.Row, len(fns))
+			for i, f := range fns {
+				v, err := f(&ctx)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			rows = append(rows, row)
+		}
+		return &planned{
+			node:   exec.NewScan(rows),
+			layout: map[int]int{rt: 0},
+			kinds:  rte.Cols.Kinds(),
+			rts:    map[int]bool{rt: true},
+			est:    float64(len(rows)) + 1,
+		}, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown RTE kind %d", rte.Kind)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+
+// planAggregation builds the HashAgg node plus the post-aggregation
+// HAVING filter and projection. It rewrites target/HAVING/ORDER BY
+// expressions to reference the aggregate output row (groups first, then
+// aggregate results).
+func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, error) {
+	inBinder := &rowBinder{p: p, layout: input.layout}
+
+	groupFns, err := eval.CompileAll(q.GroupBy, inBinder)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect distinct aggregate references from targets, HAVING and
+	// ORDER BY expressions.
+	var aggRefs []*algebra.AggRef
+	collect := func(e algebra.Expr) {
+		algebra.WalkExpr(e, func(x algebra.Expr) {
+			if ar, ok := x.(*algebra.AggRef); ok {
+				for _, seen := range aggRefs {
+					if algebra.EqualExpr(seen, ar) {
+						return
+					}
+				}
+				aggRefs = append(aggRefs, ar)
+			}
+		})
+	}
+	for _, te := range q.TargetList {
+		collect(te.Expr)
+	}
+	collect(q.Having)
+	for _, si := range q.OrderBy {
+		collect(si.Expr)
+	}
+
+	specs := make([]exec.AggSpec, len(aggRefs))
+	for i, ar := range aggRefs {
+		spec := exec.AggSpec{Distinct: ar.Distinct, ResultKind: ar.Typ}
+		switch ar.Fn {
+		case algebra.AggCount:
+			if ar.Star {
+				spec.Kind = exec.AggCountStar
+			} else {
+				spec.Kind = exec.AggCount
+			}
+		case algebra.AggSum:
+			spec.Kind = exec.AggSum
+		case algebra.AggAvg:
+			spec.Kind = exec.AggAvg
+		case algebra.AggMin:
+			spec.Kind = exec.AggMin
+		case algebra.AggMax:
+			spec.Kind = exec.AggMax
+		}
+		if ar.Arg != nil {
+			fn, err := eval.Compile(ar.Arg, inBinder)
+			if err != nil {
+				return nil, err
+			}
+			spec.Arg = fn
+		}
+		specs[i] = spec
+	}
+
+	node := exec.Node(exec.NewHashAgg(input.node, groupFns, specs))
+
+	// Aggregate output layout: group values 0..G-1, aggregates G..G+A-1.
+	mapAgg := func(e algebra.Expr) (algebra.Expr, error) {
+		return mapToAggOutput(e, q.GroupBy, aggRefs)
+	}
+	aggBinder := &flatBinder{p: p}
+
+	if q.Having != nil {
+		mapped, err := mapAgg(q.Having)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := eval.Compile(mapped, aggBinder)
+		if err != nil {
+			return nil, err
+		}
+		node = exec.NewFilter(node, pred)
+	}
+
+	exprs := make([]algebra.Expr, 0, len(q.TargetList))
+	for _, te := range q.TargetList {
+		mapped, err := mapAgg(te.Expr)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, mapped)
+	}
+	for _, se := range p.extraSortExprs(q) {
+		mapped, err := mapAgg(se)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, mapped)
+	}
+	fns, err := eval.CompileAll(exprs, aggBinder)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewProject(node, fns), nil
+}
+
+// mapToAggOutput rewrites an expression over the aggregation input into
+// one over the aggregation output row: subtrees matching a GROUP BY
+// expression become column references, AggRefs become references to their
+// computed slot. The result uses flat Vars (RT -2) bound by flatBinder.
+func mapToAggOutput(e algebra.Expr, groupBy []algebra.Expr, aggRefs []*algebra.AggRef) (algebra.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	for i, g := range groupBy {
+		if algebra.EqualExpr(e, g) {
+			return &algebra.Var{RT: flatRT, Col: i, Name: "group", Typ: algebra.TypeOf(g)}, nil
+		}
+	}
+	if ar, ok := e.(*algebra.AggRef); ok {
+		for i, seen := range aggRefs {
+			if algebra.EqualExpr(seen, ar) {
+				return &algebra.Var{RT: flatRT, Col: len(groupBy) + i, Name: "agg", Typ: ar.Typ}, nil
+			}
+		}
+		return nil, fmt.Errorf("plan: aggregate not collected (planner bug)")
+	}
+	switch n := e.(type) {
+	case *algebra.Var:
+		return nil, fmt.Errorf("plan: column %q must appear in GROUP BY", n.Name)
+	case *algebra.Const:
+		c := *n
+		return &c, nil
+	case *algebra.BinOp:
+		c := *n
+		var err error
+		if c.Left, err = mapToAggOutput(n.Left, groupBy, aggRefs); err != nil {
+			return nil, err
+		}
+		if c.Right, err = mapToAggOutput(n.Right, groupBy, aggRefs); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *algebra.UnOp:
+		c := *n
+		var err error
+		if c.Expr, err = mapToAggOutput(n.Expr, groupBy, aggRefs); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *algebra.IsNull:
+		c := *n
+		var err error
+		if c.Expr, err = mapToAggOutput(n.Expr, groupBy, aggRefs); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *algebra.DistinctFrom:
+		c := *n
+		var err error
+		if c.Left, err = mapToAggOutput(n.Left, groupBy, aggRefs); err != nil {
+			return nil, err
+		}
+		if c.Right, err = mapToAggOutput(n.Right, groupBy, aggRefs); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *algebra.FuncCall:
+		c := *n
+		c.Args = make([]algebra.Expr, len(n.Args))
+		for i, a := range n.Args {
+			m, err := mapToAggOutput(a, groupBy, aggRefs)
+			if err != nil {
+				return nil, err
+			}
+			c.Args[i] = m
+		}
+		return &c, nil
+	case *algebra.CaseExpr:
+		c := *n
+		c.Whens = make([]algebra.CaseWhen, len(n.Whens))
+		for i, w := range n.Whens {
+			wc, err := mapToAggOutput(w.Cond, groupBy, aggRefs)
+			if err != nil {
+				return nil, err
+			}
+			wr, err := mapToAggOutput(w.Result, groupBy, aggRefs)
+			if err != nil {
+				return nil, err
+			}
+			c.Whens[i] = algebra.CaseWhen{Cond: wc, Result: wr}
+		}
+		var err error
+		if c.Else, err = mapToAggOutput(n.Else, groupBy, aggRefs); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *algebra.Cast:
+		c := *n
+		var err error
+		if c.Expr, err = mapToAggOutput(n.Expr, groupBy, aggRefs); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *algebra.SubLink:
+		c := *n
+		var err error
+		if c.Test, err = mapToAggOutput(n.Test, groupBy, aggRefs); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	default:
+		return nil, fmt.Errorf("plan: cannot map %T over aggregation output", e)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Binders
+
+// flatRT is the pseudo range-table index for Vars referencing a flat
+// computed row (aggregate output).
+const flatRT = -2
+
+// rowBinder binds Vars through a range-table layout.
+type rowBinder struct {
+	p      *Planner
+	layout map[int]int
+}
+
+func (b *rowBinder) BindVar(v *algebra.Var) (int, error) {
+	if v.RT == outputRT {
+		return 0, fmt.Errorf("plan: unexpected output-column reference %q", v.Name)
+	}
+	if v.RT == flatRT {
+		return v.Col, nil
+	}
+	off, ok := b.layout[v.RT]
+	if !ok {
+		return 0, fmt.Errorf("plan: column %q references an entry outside this fragment", v.Name)
+	}
+	return off + v.Col, nil
+}
+
+func (b *rowBinder) BindSubLink(s *algebra.SubLink) (eval.SubLinkValue, error) {
+	return b.p.newSubLinkValue(s)
+}
+
+// flatBinder binds flat Vars (RT==flatRT) positionally.
+type flatBinder struct {
+	p *Planner
+}
+
+func (b *flatBinder) BindVar(v *algebra.Var) (int, error) {
+	if v.RT != flatRT {
+		return 0, fmt.Errorf("plan: unexpected var %q (rt=%d) over computed row", v.Name, v.RT)
+	}
+	return v.Col, nil
+}
+
+func (b *flatBinder) BindSubLink(s *algebra.SubLink) (eval.SubLinkValue, error) {
+	return b.p.newSubLinkValue(s)
+}
+
+// ---------------------------------------------------------------------------
+// Sublinks
+
+// NewSubLinkValue exposes sublink planning for engine-level predicate
+// evaluation (DELETE ... WHERE with sublinks).
+func NewSubLinkValue(p *Planner, s *algebra.SubLink) (eval.SubLinkValue, error) {
+	return p.newSubLinkValue(s)
+}
+
+// subLinkValue materializes an uncorrelated subquery lazily, once, and
+// serves the SQL semantics of scalar/EXISTS/ANY/ALL sublinks.
+type subLinkValue struct {
+	node   exec.Node
+	kind   types.Kind
+	loaded bool
+	rows   []types.Row
+	err    error
+}
+
+func (p *Planner) newSubLinkValue(s *algebra.SubLink) (eval.SubLinkValue, error) {
+	pl, err := p.planQuery(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	kind := types.KindNull
+	if len(s.Query.Schema()) > 0 {
+		kind = s.Query.Schema()[0].Type
+	}
+	return &subLinkValue{node: pl.node, kind: kind}, nil
+}
+
+func (s *subLinkValue) load() error {
+	if s.loaded {
+		return s.err
+	}
+	s.loaded = true
+	s.rows, s.err = exec.Collect(s.node)
+	return s.err
+}
+
+func (s *subLinkValue) Scalar() (types.Value, error) {
+	if err := s.load(); err != nil {
+		return types.NullValue, err
+	}
+	switch len(s.rows) {
+	case 0:
+		return types.NewNull(s.kind), nil
+	case 1:
+		return s.rows[0][0], nil
+	default:
+		return types.NullValue, fmt.Errorf("scalar subquery returned %d rows", len(s.rows))
+	}
+}
+
+func (s *subLinkValue) Exists() (bool, error) {
+	if err := s.load(); err != nil {
+		return false, err
+	}
+	return len(s.rows) > 0, nil
+}
+
+func (s *subLinkValue) CompareAny(test types.Value, op string) (types.Tri, error) {
+	if err := s.load(); err != nil {
+		return types.TriNull, err
+	}
+	if len(s.rows) == 0 {
+		return types.TriFalse, nil
+	}
+	if test.Null {
+		return types.TriNull, nil
+	}
+	sawNull := false
+	for _, r := range s.rows {
+		v := r[0]
+		if v.Null {
+			sawNull = true
+			continue
+		}
+		if !types.Comparable(test.K, v.K) {
+			return types.TriNull, fmt.Errorf("cannot compare %s with %s", test.K, v.K)
+		}
+		if cmpSatisfies(types.Compare(test, v), op) {
+			return types.TriTrue, nil
+		}
+	}
+	if sawNull {
+		return types.TriNull, nil
+	}
+	return types.TriFalse, nil
+}
+
+func (s *subLinkValue) CompareAll(test types.Value, op string) (types.Tri, error) {
+	if err := s.load(); err != nil {
+		return types.TriNull, err
+	}
+	if len(s.rows) == 0 {
+		return types.TriTrue, nil
+	}
+	if test.Null {
+		return types.TriNull, nil
+	}
+	sawNull := false
+	for _, r := range s.rows {
+		v := r[0]
+		if v.Null {
+			sawNull = true
+			continue
+		}
+		if !types.Comparable(test.K, v.K) {
+			return types.TriNull, fmt.Errorf("cannot compare %s with %s", test.K, v.K)
+		}
+		if !cmpSatisfies(types.Compare(test, v), op) {
+			return types.TriFalse, nil
+		}
+	}
+	if sawNull {
+		return types.TriNull, nil
+	}
+	return types.TriTrue, nil
+}
+
+func cmpSatisfies(c int, op string) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Explain renders a plan tree as an indented string (EXPLAIN output).
+func Explain(n exec.Node) string {
+	var sb []byte
+	explainNode(n, 0, &sb)
+	return string(sb)
+}
+
+func explainNode(n exec.Node, depth int, out *[]byte) {
+	indent := make([]byte, depth*2)
+	for i := range indent {
+		indent[i] = ' '
+	}
+	*out = append(*out, indent...)
+	switch x := n.(type) {
+	case *exec.Scan:
+		*out = append(*out, fmt.Sprintf("Scan (%d rows)\n", len(x.Rows))...)
+	case *exec.Filter:
+		*out = append(*out, "Filter\n"...)
+		explainNode(x.Input, depth+1, out)
+	case *exec.Project:
+		*out = append(*out, fmt.Sprintf("Project (%d cols)\n", len(x.Exprs))...)
+		explainNode(x.Input, depth+1, out)
+	case *exec.NestedLoopJoin:
+		*out = append(*out, fmt.Sprintf("NestedLoopJoin (%s)\n", joinName(x.Type))...)
+		explainNode(x.Left, depth+1, out)
+		explainNode(x.Right, depth+1, out)
+	case *exec.HashJoin:
+		*out = append(*out, fmt.Sprintf("HashJoin (%s, %d keys)\n", joinName(x.Type), len(x.LeftKeys))...)
+		explainNode(x.Left, depth+1, out)
+		explainNode(x.Right, depth+1, out)
+	case *exec.HashAgg:
+		*out = append(*out, fmt.Sprintf("HashAggregate (%d groups, %d aggs)\n", len(x.Groups), len(x.Aggs))...)
+		explainNode(x.Input, depth+1, out)
+	case *exec.Sort:
+		*out = append(*out, fmt.Sprintf("Sort (%d keys)\n", len(x.Keys))...)
+		explainNode(x.Input, depth+1, out)
+	case *exec.Limit:
+		*out = append(*out, "Limit\n"...)
+		explainNode(x.Input, depth+1, out)
+	case *exec.Distinct:
+		*out = append(*out, "Distinct\n"...)
+		explainNode(x.Input, depth+1, out)
+	case *exec.SetOp:
+		*out = append(*out, fmt.Sprintf("SetOp (%s, all=%v)\n", setOpName(x.Kind), x.All)...)
+		explainNode(x.Left, depth+1, out)
+		explainNode(x.Right, depth+1, out)
+	default:
+		*out = append(*out, fmt.Sprintf("%T\n", n)...)
+	}
+}
+
+func joinName(t exec.JoinType) string {
+	switch t {
+	case exec.InnerJoin:
+		return "inner"
+	case exec.LeftJoin:
+		return "left"
+	case exec.RightJoin:
+		return "right"
+	case exec.FullJoin:
+		return "full"
+	default:
+		return "?"
+	}
+}
+
+func setOpName(k exec.SetOpKind) string {
+	switch k {
+	case exec.Union:
+		return "union"
+	case exec.Intersect:
+		return "intersect"
+	case exec.Except:
+		return "except"
+	default:
+		return "?"
+	}
+}

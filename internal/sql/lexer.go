@@ -1,0 +1,280 @@
+// Package sql implements the SQL dialect of the Perm engine: a lexer, an
+// abstract syntax tree and a recursive-descent parser.
+//
+// The dialect is the SQL subset needed by the paper's workloads — SELECT
+// with joins (including explicit OUTER joins), WHERE, GROUP BY, HAVING,
+// ORDER BY, LIMIT, set operations (UNION/INTERSECT/EXCEPT [ALL]),
+// uncorrelated expression subqueries (IN, EXISTS, scalar, ANY/ALL),
+// aggregates (incl. DISTINCT), CASE, LIKE, BETWEEN, EXTRACT, date and
+// interval literals — plus DDL/DML (CREATE TABLE, CREATE VIEW, DROP,
+// INSERT, SELECT INTO) and the Perm SQL-PLE extensions of the paper:
+//
+//	SELECT PROVENANCE ...                   -- §IV-A2
+//	FROM item PROVENANCE (attr, ...)        -- §IV-A3 external/incremental
+//	FROM item BASERELATION                  -- §IV-A4 limited scope
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp    // operators and punctuation
+	TokParam // $n positional parameter (reserved; unused by the engine)
+)
+
+// Token is a lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased, identifiers lower-cased
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords is the reserved-word set. Identifiers matching these (case
+// insensitively) lex as TokKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"IN": true, "EXISTS": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"DISTINCT": true, "ALL": true, "ANY": true, "SOME": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "CAST": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "ON": true, "USING": true, "NATURAL": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true,
+	"CREATE": true, "TABLE": true, "VIEW": true, "DROP": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "ASC": true, "DESC": true,
+	"DATE": true, "INTERVAL": true, "EXTRACT": true, "YEAR": true,
+	"MONTH": true, "DAY": true, "SUBSTRING": true, "FOR": true,
+	"PROVENANCE": true, "BASERELATION": true,
+	"PRIMARY": true, "KEY": true, "IF": true,
+	"EXPLAIN": true, "REWRITE": true, "DELETE": true, "UPDATE": true, "SET": true,
+	"NULLS": true, "FIRST": true, "LAST": true,
+}
+
+// Lexer turns SQL text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Error is a syntax error with position information.
+type Error struct {
+	Pos int
+	Msg string
+	Src string
+}
+
+func (e *Error) Error() string {
+	line, col := 1, 1
+	for i := 0; i < e.Pos && i < len(e.Src); i++ {
+		if e.Src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("syntax error at line %d column %d: %s", line, col, e.Msg)
+}
+
+func (l *Lexer) errorf(pos int, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...), Src: l.src}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		return l.lexIdent(start), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(start)
+	case c == '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			return l.lexNumber(start)
+		}
+		l.pos++
+		return Token{Kind: TokOp, Text: ".", Pos: start}, nil
+	case c == '\'':
+		return l.lexString(start)
+	case c == '"':
+		return l.lexQuotedIdent(start)
+	default:
+		return l.lexOp(start)
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *Lexer) lexIdent(start int) Token {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		return Token{Kind: TokKeyword, Text: upper, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: strings.ToLower(word), Pos: start}
+}
+
+func (l *Lexer) lexQuotedIdent(start int) (Token, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				sb.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokIdent, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, l.errorf(start, "unterminated quoted identifier")
+}
+
+func (l *Lexer) lexNumber(start int) (Token, error) {
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+		}
+	}
+	return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+}
+
+func (l *Lexer) lexString(start int) (Token, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, l.errorf(start, "unterminated string literal")
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{"<>", "<=", ">=", "!=", "||"}
+
+func (l *Lexer) lexOp(start int) (Token, error) {
+	rest := l.src[l.pos:]
+	for _, op := range multiOps {
+		if strings.HasPrefix(rest, op) {
+			l.pos += len(op)
+			text := op
+			if text == "!=" {
+				text = "<>"
+			}
+			return Token{Kind: TokOp, Text: text, Pos: start}, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '<', '>', '=', ';', '.':
+		l.pos++
+		return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, l.errorf(start, "unexpected character %q", c)
+}
+
+// Tokenize lexes the whole input (used by tests).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package storage provides the in-memory heap storage for base relations.
+// Relations have bag semantics: duplicate rows are stored as separate
+// entries, matching the multiset algebra of the paper's Fig. 1.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"perm/internal/types"
+)
+
+// Heap is an append-only (plus delete) row store.
+type Heap struct {
+	mu    sync.RWMutex
+	width int
+	rows  []types.Row
+}
+
+// NewHeap returns an empty heap expecting rows of the given width.
+func NewHeap(width int) *Heap {
+	return &Heap{width: width}
+}
+
+// Insert appends a row. The row is not copied; callers must not mutate it
+// afterwards.
+func (h *Heap) Insert(r types.Row) error {
+	if len(r) != h.width {
+		return fmt.Errorf("row width %d does not match table width %d", len(r), h.width)
+	}
+	h.mu.Lock()
+	h.rows = append(h.rows, r)
+	h.mu.Unlock()
+	return nil
+}
+
+// InsertAll appends many rows.
+func (h *Heap) InsertAll(rs []types.Row) error {
+	for _, r := range rs {
+		if len(r) != h.width {
+			return fmt.Errorf("row width %d does not match table width %d", len(r), h.width)
+		}
+	}
+	h.mu.Lock()
+	h.rows = append(h.rows, rs...)
+	h.mu.Unlock()
+	return nil
+}
+
+// Len returns the current row count.
+func (h *Heap) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.rows)
+}
+
+// Snapshot returns the current rows. The returned slice must be treated as
+// read-only; it shares backing rows with the heap.
+func (h *Heap) Snapshot() []types.Row {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]types.Row, len(h.rows))
+	copy(out, h.rows)
+	return out
+}
+
+// DeleteWhere removes rows matching the predicate and returns how many
+// were removed.
+func (h *Heap) DeleteWhere(match func(types.Row) (bool, error)) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	kept := h.rows[:0]
+	removed := 0
+	for _, r := range h.rows {
+		m, err := match(r)
+		if err != nil {
+			return removed, err
+		}
+		if m {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	h.rows = kept
+	return removed, nil
+}
+
+// Truncate removes all rows.
+func (h *Heap) Truncate() {
+	h.mu.Lock()
+	h.rows = nil
+	h.mu.Unlock()
+}

@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"perm/internal/types"
+)
+
+func row(vals ...int64) types.Row {
+	r := make(types.Row, len(vals))
+	for i, v := range vals {
+		r[i] = types.NewInt(v)
+	}
+	return r
+}
+
+func TestInsertAndSnapshot(t *testing.T) {
+	h := NewHeap(2)
+	if err := h.Insert(row(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Insert(row(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	snap := h.Snapshot()
+	if len(snap) != 2 || snap[1][0].I != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot slice is decoupled from later inserts.
+	if err := h.Insert(row(5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 2 {
+		t.Error("snapshot grew after insert")
+	}
+}
+
+func TestWidthEnforcement(t *testing.T) {
+	h := NewHeap(2)
+	if err := h.Insert(row(1)); err == nil {
+		t.Error("wrong-width insert must fail")
+	}
+	if err := h.InsertAll([]types.Row{row(1, 2), row(3)}); err == nil {
+		t.Error("wrong-width bulk insert must fail")
+	}
+	if h.Len() != 0 {
+		t.Error("failed bulk insert must not partially apply")
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	h := NewHeap(1)
+	for i := int64(0); i < 10; i++ {
+		if err := h.Insert(row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := h.DeleteWhere(func(r types.Row) (bool, error) {
+		return r[0].I%2 == 0, nil
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("deleted %d, %v", n, err)
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for _, r := range h.Snapshot() {
+		if r[0].I%2 == 0 {
+			t.Errorf("even row survived: %v", r)
+		}
+	}
+	h.Truncate()
+	if h.Len() != 0 {
+		t.Error("truncate failed")
+	}
+}
+
+func TestConcurrentInsertAndRead(t *testing.T) {
+	h := NewHeap(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 500; i++ {
+				if err := h.Insert(row(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Snapshot()
+				h.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", h.Len())
+	}
+}

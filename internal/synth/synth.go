@@ -1,0 +1,143 @@
+// Package synth generates the artificial query workloads of the paper's
+// §V-B: random set-operation trees over selections on the TPC-H part
+// table (Fig. 12), random SPJ trees (Fig. 13), and nested aggregation
+// chains (Fig. 14). Each generator is deterministic given a PRNG.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"perm/internal/tpch"
+)
+
+// SetOpQuery builds a random set-operation tree with numSetOp leaf
+// selections on a key range of part (§V-B1). Only UNION and INTERSECT are
+// used, as in the paper ("we used only union and intersections ... to
+// evaluate the effect of the computational complexity of a provenance
+// query instead of the effect of exponential result growth"). maxKey is
+// the largest p_partkey in the dataset.
+func SetOpQuery(r *tpch.Rand, numSetOp, maxKey int) string {
+	if numSetOp < 1 {
+		numSetOp = 1
+	}
+	leaves := make([]string, numSetOp)
+	for i := range leaves {
+		leaves[i] = partSelection(r, maxKey)
+	}
+	return buildSetOpTree(r, leaves)
+}
+
+// partSelection returns a selection on a random primary-key range.
+func partSelection(r *tpch.Rand, maxKey int) string {
+	lo := r.Range(1, maxKey)
+	width := r.Range(1, maxKey/2+1)
+	hi := lo + width
+	return fmt.Sprintf(
+		"(SELECT p_partkey, p_name, p_brand FROM part WHERE p_partkey >= %d AND p_partkey <= %d)",
+		lo, hi)
+}
+
+// buildSetOpTree combines leaves with a random tree structure of UNION
+// and INTERSECT operations.
+func buildSetOpTree(r *tpch.Rand, items []string) string {
+	for len(items) > 1 {
+		i := r.Intn(len(items) - 1)
+		op := "UNION"
+		if r.Intn(2) == 0 {
+			op = "INTERSECT"
+		}
+		merged := "(" + items[i] + " " + op + " " + items[i+1] + ")"
+		items = append(items[:i], append([]string{merged}, items[i+2:]...)...)
+	}
+	return strings.TrimSuffix(strings.TrimPrefix(items[0], "("), ")")
+}
+
+// SetOpDifferenceQuery builds a set-operation tree that includes EXCEPT
+// operations (the worst case §V-B1 excludes from timing; used by the
+// blow-up ablation bench).
+func SetOpDifferenceQuery(r *tpch.Rand, numSetOp, maxKey int) string {
+	if numSetOp < 1 {
+		numSetOp = 1
+	}
+	leaves := make([]string, numSetOp)
+	for i := range leaves {
+		leaves[i] = partSelection(r, maxKey)
+	}
+	out := leaves[0]
+	for _, leaf := range leaves[1:] {
+		out = "(" + out + " EXCEPT " + leaf + ")"
+	}
+	return strings.TrimSuffix(strings.TrimPrefix(out, "("), ")")
+}
+
+// SPJQuery builds a random select-project-join query with numSub leaf
+// subqueries (§V-B2). Leaves are key-range selections on part; the join
+// tree is random, joining on p_partkey equality.
+func SPJQuery(r *tpch.Rand, numSub, maxKey int) string {
+	if numSub < 1 {
+		numSub = 1
+	}
+	type frag struct {
+		sql   string
+		alias string
+	}
+	frags := make([]frag, numSub)
+	for i := range frags {
+		alias := fmt.Sprintf("s%d", i+1)
+		frags[i] = frag{sql: partSelection(r, maxKey) + " AS " + alias, alias: alias}
+	}
+	// Random left-deep-ish join order: shuffle by picking random positions.
+	fromParts := make([]string, numSub)
+	var conds []string
+	for i, f := range frags {
+		fromParts[i] = f.sql
+		if i > 0 {
+			// join to a random earlier fragment on the key
+			j := r.Intn(i)
+			conds = append(conds, fmt.Sprintf("%s.p_partkey = %s.p_partkey",
+				frags[j].alias, f.alias))
+		}
+	}
+	sel := fmt.Sprintf("SELECT %s.p_partkey, %s.p_name FROM %s",
+		frags[0].alias, frags[0].alias, strings.Join(fromParts, ", "))
+	if len(conds) > 0 {
+		sel += " WHERE " + strings.Join(conds, " AND ")
+	}
+	return sel
+}
+
+// AggChainQuery builds a chain of agg nested aggregation operations over
+// part (§V-B3). Each level groups its input's key column divided by
+// numGrp = agg-th root of |part|, so every level performs roughly the
+// same number of aggregation computations, as in the paper.
+func AggChainQuery(agg, partCount int) string {
+	if agg < 1 {
+		agg = 1
+	}
+	numGrp := int(math.Pow(float64(partCount), 1/float64(agg)))
+	if numGrp < 2 {
+		numGrp = 2
+	}
+	inner := fmt.Sprintf(
+		"(SELECT p_partkey / %d AS k, sum(p_retailprice) AS v FROM part GROUP BY p_partkey / %d)",
+		numGrp, numGrp)
+	for level := 2; level <= agg; level++ {
+		inner = fmt.Sprintf(
+			"(SELECT k / %d AS k, sum(v) AS v FROM %s AS a%d GROUP BY k / %d)",
+			numGrp, inner, level, numGrp)
+	}
+	return strings.TrimSuffix(strings.TrimPrefix(inner, "("), ")")
+}
+
+// SupplierSelection returns a simple key-range selection on supplier,
+// used for the Trio comparison workload (§V-C: "1000 simple selections on
+// a range of primary key attribute values of relation supplier").
+func SupplierSelection(r *tpch.Rand, maxKey int) string {
+	lo := r.Range(1, maxKey)
+	hi := lo + r.Range(1, maxKey/2+1)
+	return fmt.Sprintf(
+		"SELECT s_suppkey, s_name, s_acctbal FROM supplier WHERE s_suppkey >= %d AND s_suppkey <= %d",
+		lo, hi)
+}

@@ -1,0 +1,82 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"perm/internal/sql"
+	"perm/internal/tpch"
+)
+
+func TestSetOpQueryParses(t *testing.T) {
+	r := tpch.NewRand(1)
+	for n := 1; n <= 6; n++ {
+		for v := 0; v < 5; v++ {
+			q := SetOpQuery(r, n, 200)
+			if _, err := sql.Parse(q); err != nil {
+				t.Fatalf("numSetOp=%d: %v\n%s", n, err, q)
+			}
+			ops := strings.Count(q, "UNION") + strings.Count(q, "INTERSECT")
+			if ops != n-1 {
+				t.Errorf("numSetOp=%d produced %d operators", n, ops)
+			}
+			if strings.Contains(q, "EXCEPT") {
+				t.Error("SetOpQuery must not use EXCEPT (paper §V-B1)")
+			}
+		}
+	}
+}
+
+func TestSetOpDifferenceQueryParses(t *testing.T) {
+	r := tpch.NewRand(2)
+	q := SetOpDifferenceQuery(r, 3, 200)
+	if _, err := sql.Parse(q); err != nil {
+		t.Fatalf("%v\n%s", err, q)
+	}
+	if strings.Count(q, "EXCEPT") != 2 {
+		t.Errorf("want 2 EXCEPT operators:\n%s", q)
+	}
+}
+
+func TestSPJQueryParses(t *testing.T) {
+	r := tpch.NewRand(3)
+	for n := 1; n <= 8; n++ {
+		q := SPJQuery(r, n, 200)
+		if _, err := sql.Parse(q); err != nil {
+			t.Fatalf("numSub=%d: %v\n%s", n, err, q)
+		}
+		if got := strings.Count(q, "SELECT") - 1; got != n {
+			t.Errorf("numSub=%d produced %d leaf subqueries", n, got)
+		}
+	}
+}
+
+func TestAggChainDepth(t *testing.T) {
+	for agg := 1; agg <= 10; agg++ {
+		q := AggChainQuery(agg, 1000)
+		if _, err := sql.Parse(q); err != nil {
+			t.Fatalf("agg=%d: %v\n%s", agg, err, q)
+		}
+		if got := strings.Count(q, "GROUP BY"); got != agg {
+			t.Errorf("agg=%d produced %d aggregation levels", agg, got)
+		}
+	}
+}
+
+func TestSupplierSelectionParses(t *testing.T) {
+	r := tpch.NewRand(4)
+	for i := 0; i < 20; i++ {
+		q := SupplierSelection(r, 100)
+		if _, err := sql.Parse(q); err != nil {
+			t.Fatalf("%v\n%s", err, q)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := SetOpQuery(tpch.NewRand(9), 3, 50)
+	b := SetOpQuery(tpch.NewRand(9), 3, 50)
+	if a != b {
+		t.Error("SetOpQuery not deterministic for equal seeds")
+	}
+}

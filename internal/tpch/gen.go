@@ -1,0 +1,355 @@
+// Package tpch provides the TPC-H substrate of the paper's evaluation
+// (§V): the benchmark schema, a deterministic scale-factor data generator
+// (standing in for dbgen), and the 15 benchmark queries the Perm prototype
+// supports (1, 3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 19 — queries
+// with correlated sublinks are excluded, as in the paper), with
+// qgen-style randomized parameters.
+//
+// The generator reproduces dbgen's row-count scaling and value domains
+// (nation/region lists, brands, containers, shipping modes, date ranges)
+// with a seeded PRNG, so datasets are reproducible across runs. Comment
+// fields carry the probabilistic "special requests"/"Customer Complaints"
+// markers queries 13 and 16 filter on.
+package tpch
+
+import (
+	"fmt"
+	"math"
+
+	"perm/internal/types"
+)
+
+// Rand is a small deterministic PRNG (splitmix64) so datasets and query
+// parameters are reproducible without math/rand's global state.
+type Rand struct {
+	state uint64
+}
+
+// NewRand seeds a generator.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed + 0x9e3779b97f4a7c15} }
+
+// Next returns the next raw 64-bit value.
+func (r *Rand) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Range returns a uniform integer in [lo, hi] inclusive.
+func (r *Rand) Range(lo, hi int) int { return lo + r.Intn(hi-lo+1) }
+
+// Float returns a uniform float in [0, 1).
+func (r *Rand) Float() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Pick returns a random element of a string list.
+func (r *Rand) Pick(list []string) string { return list[r.Intn(len(list))] }
+
+// Value domains, following the TPC-H specification's lists.
+var (
+	Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+	// Nations with their region assignment (nation key = index).
+	Nations = []struct {
+		Name   string
+		Region int
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+
+	Segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	Priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	ShipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	Instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	Containers = []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX",
+		"MED PKG", "MED PACK", "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+		"JUMBO BAG", "JUMBO BOX", "JUMBO CASE", "JUMBO PKG", "WRAP BAG", "WRAP BOX"}
+	TypeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	TypeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	TypeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	NameSyl  = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque",
+		"black", "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+		"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+		"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+		"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+		"grey", "honeydew", "hot", "hotpink", "indian", "ivory", "khaki",
+		"lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+		"maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+		"navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach",
+		"peru", "pink", "plum", "powder", "puff", "purple", "red", "rose",
+		"rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna",
+		"sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle",
+		"tomato", "turquoise", "violet", "wheat", "white", "yellow"}
+	commentWords = []string{"carefully", "quickly", "furiously", "slyly", "blithely",
+		"deposits", "requests", "accounts", "packages", "foxes", "ideas",
+		"theodolites", "pinto", "beans", "instructions", "dependencies",
+		"excuses", "platelets", "asymptotes", "courts", "dolphins", "sheaves"}
+)
+
+// Dataset holds the generated relations as raw rows keyed by table name.
+type Dataset struct {
+	SF     float64
+	Tables map[string][]types.Row
+}
+
+// RowCount returns the total number of rows across all tables.
+func (d *Dataset) RowCount() int {
+	n := 0
+	for _, rows := range d.Tables {
+		n += len(rows)
+	}
+	return n
+}
+
+// scaled returns max(1, round(base*sf)).
+func scaled(base int, sf float64) int {
+	n := int(math.Round(float64(base) * sf))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// epochDate converts a calendar date to the engine's date value.
+func epochDate(y, m, d int) types.Value { return types.DateFromYMD(y, m, d) }
+
+// randDate returns a uniform date in [1992-01-01, 1998-08-02], dbgen's
+// order-date domain.
+func randDate(r *Rand) types.Value {
+	start := types.DateFromYMD(1992, 1, 1).I
+	end := types.DateFromYMD(1998, 8, 2).I
+	return types.NewDate(start + int64(r.Intn(int(end-start+1))))
+}
+
+func comment(r *Rand, marker string) types.Value {
+	n := r.Range(3, 8)
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += r.Pick(commentWords)
+	}
+	if marker != "" {
+		s += " " + marker
+	}
+	return types.NewString(s)
+}
+
+// Generate builds a deterministic TPC-H dataset at the given scale factor.
+// SF 1.0 corresponds to dbgen's 1GB row counts; the paper's 10MB/100MB/1GB
+// databases are SF 0.01/0.1/1.
+func Generate(sf float64, seed uint64) *Dataset {
+	r := NewRand(seed)
+	d := &Dataset{SF: sf, Tables: make(map[string][]types.Row)}
+
+	// region
+	regions := make([]types.Row, len(Regions))
+	for i, name := range Regions {
+		regions[i] = types.Row{
+			types.NewInt(int64(i)), types.NewString(name), comment(r, ""),
+		}
+	}
+	d.Tables["region"] = regions
+
+	// nation
+	nations := make([]types.Row, len(Nations))
+	for i, n := range Nations {
+		nations[i] = types.Row{
+			types.NewInt(int64(i)), types.NewString(n.Name),
+			types.NewInt(int64(n.Region)), comment(r, ""),
+		}
+	}
+	d.Tables["nation"] = nations
+
+	// supplier
+	nSupp := scaled(10000, sf)
+	suppliers := make([]types.Row, nSupp)
+	for i := 0; i < nSupp; i++ {
+		key := int64(i + 1)
+		marker := ""
+		if r.Intn(100) < 1 {
+			marker = "Customer Complaints" // Q16's filter marker
+		}
+		suppliers[i] = types.Row{
+			types.NewInt(key),
+			types.NewString(fmt.Sprintf("Supplier#%09d", key)),
+			types.NewString(fmt.Sprintf("addr-%d", r.Intn(100000))),
+			types.NewInt(int64(r.Intn(len(Nations)))),
+			types.NewString(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+r.Intn(25), r.Intn(1000), r.Intn(1000), r.Intn(10000))),
+			types.NewFloat(float64(r.Range(-99999, 999999)) / 100),
+			comment(r, marker),
+		}
+	}
+	d.Tables["supplier"] = suppliers
+
+	// customer
+	nCust := scaled(150000, sf)
+	customers := make([]types.Row, nCust)
+	for i := 0; i < nCust; i++ {
+		key := int64(i + 1)
+		customers[i] = types.Row{
+			types.NewInt(key),
+			types.NewString(fmt.Sprintf("Customer#%09d", key)),
+			types.NewString(fmt.Sprintf("addr-%d", r.Intn(100000))),
+			types.NewInt(int64(r.Intn(len(Nations)))),
+			types.NewString(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+r.Intn(25), r.Intn(1000), r.Intn(1000), r.Intn(10000))),
+			types.NewFloat(float64(r.Range(-99999, 999999)) / 100),
+			types.NewString(r.Pick(Segments)),
+			comment(r, ""),
+		}
+	}
+	d.Tables["customer"] = customers
+
+	// part
+	nPart := scaled(200000, sf)
+	parts := make([]types.Row, nPart)
+	for i := 0; i < nPart; i++ {
+		key := int64(i + 1)
+		name := r.Pick(NameSyl) + " " + r.Pick(NameSyl) + " " + r.Pick(NameSyl)
+		mfgr := r.Range(1, 5)
+		brand := mfgr*10 + r.Range(1, 5)
+		ptype := r.Pick(TypeSyl1) + " " + r.Pick(TypeSyl2) + " " + r.Pick(TypeSyl3)
+		parts[i] = types.Row{
+			types.NewInt(key),
+			types.NewString(name),
+			types.NewString(fmt.Sprintf("Manufacturer#%d", mfgr)),
+			types.NewString(fmt.Sprintf("Brand#%d", brand)),
+			types.NewString(ptype),
+			types.NewInt(int64(r.Range(1, 50))),
+			types.NewString(r.Pick(Containers)),
+			types.NewFloat(90000.0/100 + float64(key%2000)/10 + 0.01*float64(key%1000)),
+			comment(r, ""),
+		}
+	}
+	d.Tables["part"] = parts
+
+	// partsupp: 4 suppliers per part.
+	partsupp := make([]types.Row, 0, nPart*4)
+	for i := 0; i < nPart; i++ {
+		pkey := int64(i + 1)
+		for j := 0; j < 4; j++ {
+			skey := int64((i+j*(nSupp/4+1))%nSupp + 1)
+			partsupp = append(partsupp, types.Row{
+				types.NewInt(pkey),
+				types.NewInt(skey),
+				types.NewInt(int64(r.Range(1, 9999))),
+				types.NewFloat(float64(r.Range(100, 100000)) / 100),
+				comment(r, ""),
+			})
+		}
+	}
+	d.Tables["partsupp"] = partsupp
+
+	// orders and lineitem
+	nOrders := scaled(1500000, sf)
+	orders := make([]types.Row, 0, nOrders)
+	lineitems := make([]types.Row, 0, nOrders*4)
+	for i := 0; i < nOrders; i++ {
+		okey := int64(i + 1)
+		custkey := int64(r.Intn(nCust) + 1)
+		odate := randDate(r)
+		nLines := r.Range(1, 7)
+		totalPrice := 0.0
+		status := "O"
+		allF := true
+		anyF := false
+		marker := ""
+		if r.Intn(100) < 2 {
+			marker = "special requests" // Q13's filter marker
+		}
+		for ln := 1; ln <= nLines; ln++ {
+			pIdx := r.Intn(nPart)
+			pkey := int64(pIdx + 1)
+			// one of the part's four suppliers
+			j := r.Intn(4)
+			skey := int64((pIdx+j*(nSupp/4+1))%nSupp + 1)
+			qty := float64(r.Range(1, 50))
+			price := qty * (900.0 + float64(pkey%2000)/10)
+			discount := float64(r.Intn(11)) / 100
+			tax := float64(r.Intn(9)) / 100
+			shipdate := types.NewDate(odate.I + int64(r.Range(1, 121)))
+			commitdate := types.NewDate(odate.I + int64(r.Range(30, 90)))
+			receiptdate := types.NewDate(shipdate.I + int64(r.Range(1, 30)))
+			// dbgen: returnflag R/A for shipped-before-1995-06-17 lines.
+			cutoff := epochDate(1995, 6, 17)
+			var returnflag, linestatus string
+			if receiptdate.I <= cutoff.I {
+				if r.Intn(2) == 0 {
+					returnflag = "R"
+				} else {
+					returnflag = "A"
+				}
+			} else {
+				returnflag = "N"
+			}
+			if shipdate.I <= cutoff.I {
+				linestatus = "F"
+				anyF = true
+			} else {
+				linestatus = "O"
+				allF = false
+			}
+			totalPrice += price * (1 + tax) * (1 - discount)
+			lineitems = append(lineitems, types.Row{
+				types.NewInt(okey), types.NewInt(pkey), types.NewInt(skey),
+				types.NewInt(int64(ln)), types.NewFloat(qty), types.NewFloat(price),
+				types.NewFloat(discount), types.NewFloat(tax),
+				types.NewString(returnflag), types.NewString(linestatus),
+				shipdate, commitdate, receiptdate,
+				types.NewString(r.Pick(Instructs)), types.NewString(r.Pick(ShipModes)),
+				comment(r, ""),
+			})
+		}
+		if allF {
+			status = "F"
+		} else if anyF {
+			status = "P"
+		}
+		orders = append(orders, types.Row{
+			types.NewInt(okey), types.NewInt(custkey), types.NewString(status),
+			types.NewFloat(totalPrice), odate, types.NewString(r.Pick(Priorities)),
+			types.NewString(fmt.Sprintf("Clerk#%09d", r.Intn(1000)+1)),
+			types.NewInt(0), comment(r, marker),
+		})
+	}
+	d.Tables["orders"] = orders
+	d.Tables["lineitem"] = lineitems
+	return d
+}
+
+// SchemaSQL returns the CREATE TABLE statements for the TPC-H schema.
+func SchemaSQL() string {
+	return `
+CREATE TABLE region (r_regionkey int, r_name text, r_comment text);
+CREATE TABLE nation (n_nationkey int, n_name text, n_regionkey int, n_comment text);
+CREATE TABLE supplier (s_suppkey int, s_name text, s_address text, s_nationkey int, s_phone text, s_acctbal float, s_comment text);
+CREATE TABLE customer (c_custkey int, c_name text, c_address text, c_nationkey int, c_phone text, c_acctbal float, c_mktsegment text, c_comment text);
+CREATE TABLE part (p_partkey int, p_name text, p_mfgr text, p_brand text, p_type text, p_size int, p_container text, p_retailprice float, p_comment text);
+CREATE TABLE partsupp (ps_partkey int, ps_suppkey int, ps_availqty int, ps_supplycost float, ps_comment text);
+CREATE TABLE orders (o_orderkey int, o_custkey int, o_orderstatus text, o_totalprice float, o_orderdate date, o_orderpriority text, o_clerk text, o_shippriority int, o_comment text);
+CREATE TABLE lineitem (l_orderkey int, l_partkey int, l_suppkey int, l_linenumber int, l_quantity float, l_extendedprice float, l_discount float, l_tax float, l_returnflag text, l_linestatus text, l_shipdate date, l_commitdate date, l_receiptdate date, l_shipinstruct text, l_shipmode text, l_comment text);
+`
+}
+
+// TableNames lists the TPC-H tables in creation order.
+func TableNames() []string {
+	return []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"}
+}

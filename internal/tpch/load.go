@@ -1,0 +1,38 @@
+package tpch
+
+import (
+	"fmt"
+
+	"perm/internal/types"
+)
+
+// Target is the database surface the loader needs; *perm.Database
+// satisfies it.
+type Target interface {
+	Exec(text string) (int, error)
+	InsertRows(table string, rows []types.Row) error
+}
+
+// Load creates the TPC-H schema in the target and bulk-loads a generated
+// dataset at the given scale factor.
+func Load(t Target, sf float64, seed uint64) (*Dataset, error) {
+	if _, err := t.Exec(SchemaSQL()); err != nil {
+		return nil, fmt.Errorf("tpch: creating schema: %w", err)
+	}
+	d := Generate(sf, seed)
+	for _, name := range TableNames() {
+		if err := t.InsertRows(name, d.Tables[name]); err != nil {
+			return nil, fmt.Errorf("tpch: loading %s: %w", name, err)
+		}
+	}
+	return d, nil
+}
+
+// MustLoad is Load that panics on error.
+func MustLoad(t Target, sf float64, seed uint64) *Dataset {
+	d, err := Load(t, sf, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,336 @@
+package tpch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is one benchmark query instance: optional setup/teardown (Q15's
+// revenue view) around the query text.
+type Query struct {
+	Number   int
+	Setup    []string
+	Text     string
+	Teardown []string
+}
+
+// Provenance returns the query with the PROVENANCE keyword injected into
+// the outermost SELECT (the SQL-PLE form of §IV-A2).
+func (q Query) Provenance() Query {
+	q.Text = injectProvenance(q.Text)
+	return q
+}
+
+// injectProvenance inserts PROVENANCE after the first SELECT keyword.
+func injectProvenance(text string) string {
+	idx := strings.Index(strings.ToUpper(text), "SELECT")
+	if idx < 0 {
+		return text
+	}
+	return text[:idx+len("SELECT")] + " PROVENANCE" + text[idx+len("SELECT"):]
+}
+
+// SupportedQueries lists the TPC-H queries the paper's prototype supports
+// (§V: all but those with correlated sublinks — 2, 4, 17, 18, 20, 21, 22).
+func SupportedQueries() []int {
+	return []int{1, 3, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 19}
+}
+
+// QGen generates a parameterized instance of a benchmark query, following
+// qgen's substitution rules with the given PRNG (the paper used 100
+// random versions per query, §V).
+func QGen(number int, r *Rand) (Query, error) {
+	switch number {
+	case 1:
+		delta := r.Range(60, 120)
+		return Query{Number: 1, Text: fmt.Sprintf(`
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= date '1998-12-01' - interval '%d' day
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`, delta)}, nil
+	case 3:
+		segment := r.Pick(Segments)
+		day := r.Range(1, 31)
+		return Query{Number: 3, Text: fmt.Sprintf(`
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = '%s'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < date '1995-03-%02d'
+  AND l_shipdate > date '1995-03-%02d'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate`, segment, day, day)}, nil
+	case 5:
+		region := r.Pick(Regions)
+		year := r.Range(1993, 1997)
+		return Query{Number: 5, Text: fmt.Sprintf(`
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = '%s'
+  AND o_orderdate >= date '%d-01-01'
+  AND o_orderdate < date '%d-01-01' + interval '1' year
+GROUP BY n_name
+ORDER BY revenue DESC`, region, year, year)}, nil
+	case 6:
+		year := r.Range(1993, 1997)
+		discount := float64(r.Range(2, 9)) / 100
+		quantity := r.Range(24, 25)
+		return Query{Number: 6, Text: fmt.Sprintf(`
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= date '%d-01-01'
+  AND l_shipdate < date '%d-01-01' + interval '1' year
+  AND l_discount BETWEEN %.2f - 0.01 AND %.2f + 0.01
+  AND l_quantity < %d`, year, year, discount, discount, quantity)}, nil
+	case 7:
+		i := r.Intn(len(Nations))
+		j := (i + 1 + r.Intn(len(Nations)-1)) % len(Nations)
+		n1, n2 := Nations[i].Name, Nations[j].Name
+		return Query{Number: 7, Text: fmt.Sprintf(`
+SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+FROM (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+             extract(year FROM l_shipdate) AS l_year,
+             l_extendedprice * (1 - l_discount) AS volume
+      FROM supplier, lineitem, orders, customer, nation AS n1, nation AS n2
+      WHERE s_suppkey = l_suppkey
+        AND o_orderkey = l_orderkey
+        AND c_custkey = o_custkey
+        AND s_nationkey = n1.n_nationkey
+        AND c_nationkey = n2.n_nationkey
+        AND ((n1.n_name = '%s' AND n2.n_name = '%s')
+          OR (n1.n_name = '%s' AND n2.n_name = '%s'))
+        AND l_shipdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+     ) AS shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year`, n1, n2, n2, n1)}, nil
+	case 8:
+		nIdx := r.Intn(len(Nations))
+		nation := Nations[nIdx].Name
+		region := Regions[Nations[nIdx].Region]
+		ptype := fmt.Sprintf("%s %s %s", TypeSyl1[r.Intn(len(TypeSyl1))],
+			TypeSyl2[r.Intn(len(TypeSyl2))], TypeSyl3[r.Intn(len(TypeSyl3))])
+		return Query{Number: 8, Text: fmt.Sprintf(`
+SELECT o_year,
+       sum(CASE WHEN nation = '%s' THEN volume ELSE 0 END) / sum(volume) AS mkt_share
+FROM (SELECT extract(year FROM o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount) AS volume,
+             n2.n_name AS nation
+      FROM part, supplier, lineitem, orders, customer, nation AS n1, nation AS n2, region
+      WHERE p_partkey = l_partkey
+        AND s_suppkey = l_suppkey
+        AND l_orderkey = o_orderkey
+        AND o_custkey = c_custkey
+        AND c_nationkey = n1.n_nationkey
+        AND n1.n_regionkey = r_regionkey
+        AND r_name = '%s'
+        AND s_nationkey = n2.n_nationkey
+        AND o_orderdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+        AND p_type = '%s'
+     ) AS all_nations
+GROUP BY o_year
+ORDER BY o_year`, nation, region, ptype)}, nil
+	case 9:
+		color := r.Pick(NameSyl)
+		return Query{Number: 9, Text: fmt.Sprintf(`
+SELECT nation, o_year, sum(amount) AS sum_profit
+FROM (SELECT n_name AS nation,
+             extract(year FROM o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity AS amount
+      FROM part, supplier, lineitem, partsupp, orders, nation
+      WHERE s_suppkey = l_suppkey
+        AND ps_suppkey = l_suppkey
+        AND ps_partkey = l_partkey
+        AND p_partkey = l_partkey
+        AND o_orderkey = l_orderkey
+        AND s_nationkey = n_nationkey
+        AND p_name LIKE '%%%s%%'
+     ) AS profit
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC`, color)}, nil
+	case 10:
+		year := r.Range(1993, 1994)
+		month := r.Range(1, 12)
+		return Query{Number: 10, Text: fmt.Sprintf(`
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= date '%d-%02d-01'
+  AND o_orderdate < date '%d-%02d-01' + interval '3' month
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC`, year, month, year, month)}, nil
+	case 11:
+		nation := Nations[r.Intn(len(Nations))].Name
+		fraction := 0.0001
+		return Query{Number: 11, Text: fmt.Sprintf(`
+SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey
+  AND s_nationkey = n_nationkey
+  AND n_name = '%s'
+GROUP BY ps_partkey
+HAVING sum(ps_supplycost * ps_availqty) >
+       (SELECT sum(ps_supplycost * ps_availqty) * %g
+        FROM partsupp, supplier, nation
+        WHERE ps_suppkey = s_suppkey
+          AND s_nationkey = n_nationkey
+          AND n_name = '%s')
+ORDER BY value DESC`, nation, fraction, nation)}, nil
+	case 12:
+		m1 := r.Pick(ShipModes)
+		m2 := r.Pick(ShipModes)
+		for m2 == m1 {
+			m2 = r.Pick(ShipModes)
+		}
+		year := r.Range(1993, 1997)
+		return Query{Number: 12, Text: fmt.Sprintf(`
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('%s', '%s')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= date '%d-01-01'
+  AND l_receiptdate < date '%d-01-01' + interval '1' year
+GROUP BY l_shipmode
+ORDER BY l_shipmode`, m1, m2, year, year)}, nil
+	case 13:
+		word1 := "special"
+		word2 := "requests"
+		return Query{Number: 13, Text: fmt.Sprintf(`
+SELECT c_count, count(*) AS custdist
+FROM (SELECT c_custkey, count(o_orderkey) AS c_count
+      FROM customer LEFT OUTER JOIN orders
+           ON c_custkey = o_custkey AND o_comment NOT LIKE '%%%s%%%s%%'
+      GROUP BY c_custkey
+     ) AS c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC`, word1, word2)}, nil
+	case 14:
+		year := r.Range(1993, 1997)
+		month := r.Range(1, 12)
+		return Query{Number: 14, Text: fmt.Sprintf(`
+SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0 END) / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= date '%d-%02d-01'
+  AND l_shipdate < date '%d-%02d-01' + interval '1' month`, year, month, year, month)}, nil
+	case 15:
+		year := r.Range(1993, 1997)
+		month := r.Range(1, 10)
+		view := fmt.Sprintf(`
+CREATE VIEW revenue_stream AS
+SELECT l_suppkey AS supplier_no,
+       sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+FROM lineitem
+WHERE l_shipdate >= date '%d-%02d-01'
+  AND l_shipdate < date '%d-%02d-01' + interval '3' month
+GROUP BY l_suppkey`, year, month, year, month)
+		return Query{
+			Number: 15,
+			Setup:  []string{view},
+			Text: `
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM supplier, revenue_stream
+WHERE s_suppkey = supplier_no
+  AND total_revenue = (SELECT max(total_revenue) FROM revenue_stream)
+ORDER BY s_suppkey`,
+			Teardown: []string{"DROP VIEW revenue_stream"},
+		}, nil
+	case 16:
+		brand := fmt.Sprintf("Brand#%d%d", r.Range(1, 5), r.Range(1, 5))
+		ptype := TypeSyl1[r.Intn(len(TypeSyl1))] + " " + TypeSyl2[r.Intn(len(TypeSyl2))]
+		sizes := make([]string, 8)
+		seen := map[int]bool{}
+		for i := 0; i < 8; i++ {
+			s := r.Range(1, 50)
+			for seen[s] {
+				s = r.Range(1, 50)
+			}
+			seen[s] = true
+			sizes[i] = fmt.Sprintf("%d", s)
+		}
+		return Query{Number: 16, Text: fmt.Sprintf(`
+SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) AS supplier_cnt
+FROM partsupp, part
+WHERE p_partkey = ps_partkey
+  AND p_brand <> '%s'
+  AND p_type NOT LIKE '%s%%'
+  AND p_size IN (%s)
+  AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+                         WHERE s_comment LIKE '%%Customer%%Complaints%%')
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size`, brand, ptype, strings.Join(sizes, ", "))}, nil
+	case 19:
+		b1 := fmt.Sprintf("Brand#%d%d", r.Range(1, 5), r.Range(1, 5))
+		b2 := fmt.Sprintf("Brand#%d%d", r.Range(1, 5), r.Range(1, 5))
+		b3 := fmt.Sprintf("Brand#%d%d", r.Range(1, 5), r.Range(1, 5))
+		q1 := r.Range(1, 10)
+		q2 := r.Range(10, 20)
+		q3 := r.Range(20, 30)
+		return Query{Number: 19, Text: fmt.Sprintf(`
+SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, part
+WHERE (p_partkey = l_partkey
+       AND p_brand = '%s'
+       AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+       AND l_quantity >= %d AND l_quantity <= %d + 10
+       AND p_size BETWEEN 1 AND 5
+       AND l_shipmode IN ('AIR', 'REG AIR')
+       AND l_shipinstruct = 'DELIVER IN PERSON')
+   OR (p_partkey = l_partkey
+       AND p_brand = '%s'
+       AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+       AND l_quantity >= %d AND l_quantity <= %d + 10
+       AND p_size BETWEEN 1 AND 10
+       AND l_shipmode IN ('AIR', 'REG AIR')
+       AND l_shipinstruct = 'DELIVER IN PERSON')
+   OR (p_partkey = l_partkey
+       AND p_brand = '%s'
+       AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+       AND l_quantity >= %d AND l_quantity <= %d + 10
+       AND p_size BETWEEN 1 AND 15
+       AND l_shipmode IN ('AIR', 'REG AIR')
+       AND l_shipinstruct = 'DELIVER IN PERSON')`,
+			b1, q1, q1, b2, q2, q2, b3, q3, q3)}, nil
+	default:
+		return Query{}, fmt.Errorf("tpch: query %d is not supported (the paper excludes queries with correlated sublinks)", number)
+	}
+}
+
+// MustQGen is QGen that panics on error.
+func MustQGen(number int, r *Rand) Query {
+	q, err := QGen(number, r)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

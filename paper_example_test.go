@@ -1,0 +1,204 @@
+package perm_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"perm"
+)
+
+// exampleDB builds the shop/sales/items database of the paper's Fig. 2.
+func exampleDB(t testing.TB) *perm.Database {
+	t.Helper()
+	db := perm.NewDatabase()
+	db.MustExec(`
+		CREATE TABLE shop (name text, numempl int);
+		CREATE TABLE sales (sname text, itemid int);
+		CREATE TABLE items (id int, price int);
+		INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14);
+		INSERT INTO sales VALUES ('Merdies', 1), ('Merdies', 2), ('Merdies', 2), ('Joba', 3), ('Joba', 3);
+		INSERT INTO items VALUES (1, 100), (2, 10), (3, 25);
+	`)
+	return db
+}
+
+// rowsAsStrings renders result rows for order-insensitive comparison.
+func rowsAsStrings(res *perm.Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func expectRows(t *testing.T, res *perm.Result, want []string) {
+	t.Helper()
+	got := rowsAsStrings(res)
+	sorted := append([]string(nil), want...)
+	sort.Strings(sorted)
+	if len(got) != len(sorted) {
+		t.Fatalf("got %d rows, want %d\ngot:  %v\nwant: %v", len(got), len(sorted), got, sorted)
+	}
+	for i := range got {
+		if got[i] != sorted[i] {
+			t.Fatalf("row %d: got %q, want %q\nall got:  %v\nall want: %v", i, got[i], sorted[i], got, sorted)
+		}
+	}
+}
+
+// TestPaperExampleNormal checks the original query qex of §III-B.
+func TestPaperExampleNormal(t *testing.T) {
+	db := exampleDB(t)
+	res, err := db.Query(`
+		SELECT name, sum(price)
+		FROM shop, sales, items
+		WHERE name = sname AND itemid = id
+		GROUP BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, res, []string{"Merdies|120", "Joba|50"})
+}
+
+// TestPaperExampleFig4 checks the exact provenance result relation of the
+// paper's Fig. 4 (qex+), including tuple multiplicities.
+func TestPaperExampleFig4(t *testing.T) {
+	db := exampleDB(t)
+	res, err := db.Query(`
+		SELECT PROVENANCE name, sum(price)
+		FROM shop, sales, items
+		WHERE name = sname AND itemid = id
+		GROUP BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{
+		"name", "sum",
+		"prov_shop_name", "prov_shop_numempl",
+		"prov_sales_sname", "prov_sales_itemid",
+		"prov_items_id", "prov_items_price",
+	}
+	if len(res.Columns) != len(wantCols) {
+		t.Fatalf("got columns %v, want %v", res.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if res.Columns[i] != c {
+			t.Errorf("column %d: got %q, want %q", i, res.Columns[i], c)
+		}
+	}
+	// Provenance attributes are exactly the last six columns.
+	for i := range res.Columns {
+		wantProv := i >= 2
+		if res.ProvColumns[i] != wantProv {
+			t.Errorf("ProvColumns[%d] = %v, want %v", i, res.ProvColumns[i], wantProv)
+		}
+	}
+	expectRows(t, res, []string{
+		"Merdies|120|Merdies|3|Merdies|1|1|100",
+		"Merdies|120|Merdies|3|Merdies|2|2|10",
+		"Merdies|120|Merdies|3|Merdies|2|2|10",
+		"Joba|50|Joba|14|Joba|3|3|25",
+		"Joba|50|Joba|14|Joba|3|3|25",
+	})
+}
+
+// TestPaperQueryOnProvenance checks the q1 example of §III-D: querying
+// provenance and normal data together ("which items were sold by shops
+// with total sales bigger than 100").
+func TestPaperQueryOnProvenance(t *testing.T) {
+	db := exampleDB(t)
+	res, err := db.Query(`
+		SELECT prov_items_id
+		FROM (SELECT PROVENANCE name, sum(price) AS total
+		      FROM shop, sales, items
+		      WHERE name = sname AND itemid = id
+		      GROUP BY name) AS p
+		WHERE total > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, res, []string{"1", "2", "2"})
+}
+
+// TestPaperIncrementalProvenance reproduces the §IV-A3 example: a view
+// storing provenance, reused through the PROVENANCE (attrs) annotation.
+func TestPaperIncrementalProvenance(t *testing.T) {
+	db := exampleDB(t)
+	db.MustExec(`CREATE VIEW totalitemprice AS
+		SELECT PROVENANCE sum(price) AS total FROM items`)
+	res, err := db.Query(`
+		SELECT PROVENANCE total * 10
+		FROM totalitemprice PROVENANCE (prov_items_id, prov_items_price)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// total = 135; each of the three item tuples is provenance.
+	expectRows(t, res, []string{
+		"1350|1|100",
+		"1350|2|10",
+		"1350|3|25",
+	})
+	if got := res.NumProvColumns(); got != 2 {
+		t.Errorf("NumProvColumns = %d, want 2", got)
+	}
+}
+
+// TestPaperBaseRelation reproduces the §IV-A4 example: BASERELATION stops
+// provenance at a subquery boundary (rule R1 applies to the subquery).
+func TestPaperBaseRelation(t *testing.T) {
+	db := exampleDB(t)
+	res, err := db.Query(`
+		SELECT PROVENANCE total * 10
+		FROM (SELECT sum(price) AS total FROM items) BASERELATION AS sub`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, res, []string{"1350|135"})
+	if res.Columns[1] != "prov_sub_total" {
+		t.Errorf("provenance column named %q, want prov_sub_total", res.Columns[1])
+	}
+}
+
+// TestPaperDisjunctiveSublink reproduces the §IV-E example: a sublink in a
+// disjunctive condition contributes its entire input.
+func TestPaperDisjunctiveSublink(t *testing.T) {
+	db := exampleDB(t)
+	res, err := db.Query(`
+		SELECT PROVENANCE name
+		FROM shop
+		WHERE numempl < 10 OR name IN (SELECT sname FROM sales)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both shops qualify; each original tuple carries every sales tuple
+	// (5 of them) as provenance.
+	if len(res.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10\n%s", len(res.Rows), res)
+	}
+	counts := map[string]int{}
+	for _, row := range res.Rows {
+		counts[row[0].String()]++
+	}
+	if counts["Merdies"] != 5 || counts["Joba"] != 5 {
+		t.Errorf("per-shop provenance counts = %v, want 5 each", counts)
+	}
+}
+
+func ExampleDatabase_rewrite() {
+	db := perm.NewDatabase()
+	db.MustExec(`CREATE TABLE items (id int, price int)`)
+	out, err := db.RewriteSQL(`SELECT PROVENANCE id FROM items`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(strings.Contains(out, "prov_items_id"))
+	// Output: true
+}
