@@ -293,6 +293,45 @@ func BenchmarkAblationJoinStrategy(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationOptimizer compares provenance-query execution with the
+// logical optimizer on (default) vs off, on the workloads whose rewritten
+// shapes the optimizer targets: TPC-H provenance queries (Fig. 10) and
+// the synthetic SPJ series (Fig. 13).
+func BenchmarkAblationOptimizer(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"opt-on", false}, {"opt-off", true}} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			db := perm.NewDatabaseWithOptions(perm.Options{DisableOptimizer: variant.disable})
+			tpch.MustLoad(db, benchSF, 42)
+			maxKey, err := db.TableRowCount("part")
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := tpch.NewRand(7)
+			for _, n := range []int{1, 3, 5, 10, 15} {
+				q := tpch.MustQGen(n, rng).Provenance()
+				b.Run(fmt.Sprintf("Q%d/prov", n), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						runBenchQuery(b, db, q)
+					}
+				})
+			}
+			for _, numSub := range []int{2, 4, 6} {
+				spjRng := tpch.NewRand(uint64(numSub))
+				q := injectProv(synth.SPJQuery(spjRng, numSub, maxKey))
+				b.Run(fmt.Sprintf("spj%d/prov", numSub), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						runBenchQuery(b, db, tpch.Query{Text: q})
+					}
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkCorePipeline measures the bare engine stages on a mid-size
 // query (context for Fig. 9's absolute numbers).
 func BenchmarkCorePipeline(b *testing.B) {

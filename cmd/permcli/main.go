@@ -27,11 +27,12 @@ func main() {
 		script  = flag.String("f", "", "execute a SQL script file and exit")
 		loadSF  = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor")
 		flatten = flag.Bool("flatten-setops", false, "use the Fig. 6(3a) set-operation rewrite variant")
+		noOpt   = flag.Bool("no-optimizer", false, "disable the logical optimizer (flattening/pruning of rewritten queries)")
 		timing  = flag.Bool("timing", true, "print execution times")
 	)
 	flag.Parse()
 
-	db := perm.NewDatabaseWithOptions(perm.Options{FlattenSetOps: *flatten})
+	db := perm.NewDatabaseWithOptions(perm.Options{FlattenSetOps: *flatten, DisableOptimizer: *noOpt})
 	if *loadSF > 0 {
 		fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)
 		tpch.MustLoad(db, *loadSF, 42)

@@ -7,6 +7,7 @@ import (
 	"perm/internal/analyze"
 	"perm/internal/catalog"
 	"perm/internal/deparse"
+	"perm/internal/optimize"
 	"perm/internal/provrewrite"
 	"perm/internal/sql"
 	"perm/internal/types"
@@ -139,6 +140,48 @@ func TestDeparseRoundTrip(t *testing.T) {
 		if len(q1.Schema()) != len(q2.Schema()) {
 			t.Errorf("round trip changed width %d → %d for %q",
 				len(q1.Schema()), len(q2.Schema()), src)
+		}
+	}
+}
+
+// TestDeparseOptimizedRoundTrip: deparsing an optimized tree must produce
+// SQL that re-parses and re-analyzes cleanly (unique aliases, resolvable
+// column references) and deparses to the same text again — the contract
+// behind RewriteSQL showing the flattened q+.
+func TestDeparseOptimizedRoundTrip(t *testing.T) {
+	cat := testCatalog(t)
+	queries := []string{
+		"SELECT PROVENANCE x.a FROM (SELECT a, b FROM t WHERE a > 0) AS x, (SELECT a, c FROM s) AS y WHERE x.a = y.a",
+		"SELECT PROVENANCE b, count(*) AS n FROM t GROUP BY b",
+		"SELECT PROVENANCE a FROM t UNION SELECT a FROM s",
+		"SELECT u.a FROM (SELECT a FROM t) AS u LEFT JOIN (SELECT a, c FROM s WHERE c > 1) AS v ON u.a = v.a",
+	}
+	for _, src := range queries {
+		stmt, err := sql.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := analyze.New(cat).AnalyzeSelect(stmt.(*sql.SelectStmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err = provrewrite.RewriteTree(q, provrewrite.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := deparse.Query(optimize.Query(q))
+
+		stmt2, err := sql.Parse(out)
+		if err != nil {
+			t.Fatalf("optimized deparse does not re-parse: %v\n%s", err, out)
+		}
+		q2, err := analyze.New(cat).AnalyzeSelect(stmt2.(*sql.SelectStmt))
+		if err != nil {
+			t.Fatalf("optimized deparse does not re-analyze: %v\n%s", err, out)
+		}
+		out2 := deparse.Query(optimize.Query(q2))
+		if out != out2 {
+			t.Errorf("deparse not stable for %q:\nfirst:\n%s\nsecond:\n%s", src, out, out2)
 		}
 	}
 }

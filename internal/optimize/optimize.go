@@ -1,0 +1,705 @@
+// Package optimize implements a rule-based logical optimizer over
+// analyzed (and provenance-rewritten) query trees. It runs between the
+// provenance rewriter (package provrewrite) and the planner (package
+// plan), normalizing the deeply nested subquery shells the paper's
+// rewrite rules deliberately produce — the paper (§VI) relies on the
+// PostgreSQL optimizer to flatten exactly these shapes before execution.
+//
+// Rules, applied to a fixpoint:
+//
+//   - Subquery unnesting: a range-table subquery that is a plain
+//     select-project-join block is merged into its parent by substituting
+//     its target expressions into the parent's expressions and splicing
+//     its FROM clause into the parent's join tree.
+//   - Predicate pushdown: single-entry WHERE conjuncts move through
+//     subquery boundaries into the subquery's own WHERE clause (including
+//     through set operations and, for grouping columns, aggregations).
+//   - Projection pruning: target-list entries of a subquery that the
+//     parent never references are removed, shrinking the rows carried
+//     through intermediate projections.
+//   - Redundant DISTINCT elimination and no-op projection collapse.
+//
+// Every rule is semantics-preserving on bag level, so results (including
+// duplicate multiplicities and provenance attributes) are identical with
+// the optimizer on or off; engine-level tests assert this over the full
+// SQL-logic and rewrite-rule corpora.
+package optimize
+
+import (
+	"strconv"
+
+	"perm/internal/algebra"
+)
+
+// outputRT is the pseudo range-table index the analyzer uses for Vars
+// that reference a query's own output columns (ORDER BY positions).
+const outputRT = -1
+
+// maxPasses bounds the fixpoint iteration; each rule strictly shrinks the
+// tree, so real queries converge in a handful of passes.
+const maxPasses = 32
+
+// Query optimizes the tree to a fixpoint and returns the (possibly
+// replaced) root. The input is mutated in place.
+func Query(q *algebra.Query) *algebra.Query {
+	if q == nil {
+		return nil
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		var changed bool
+		q, changed = optimizeNode(q)
+		if !changed {
+			break
+		}
+	}
+	return q
+}
+
+// optimizeNode runs one bottom-up pass over the node: children first,
+// then the local rules. It returns the possibly replaced node.
+func optimizeNode(q *algebra.Query) (*algebra.Query, bool) {
+	changed := false
+	for _, rte := range q.RangeTable {
+		if rte.Subquery == nil {
+			continue
+		}
+		sub, c := optimizeNode(rte.Subquery)
+		rte.Subquery = sub
+		changed = changed || c
+	}
+	q.VisitExprs(func(e algebra.Expr) {
+		algebra.WalkExpr(e, func(x algebra.Expr) {
+			if sl, ok := x.(*algebra.SubLink); ok && sl.Query != nil {
+				sub, c := optimizeNode(sl.Query)
+				sl.Query = sub
+				changed = changed || c
+			}
+		})
+	})
+	if q.IsSetOp() {
+		// Set-operation nodes are pure scaffolding over their branch
+		// entries; the rules below only apply to plain nodes.
+		return q, changed
+	}
+	if flattenInnerJoins(q) {
+		changed = true
+	}
+	for unnestOne(q) {
+		changed = true
+	}
+	if removeDeadRTEs(q) {
+		changed = true
+	}
+	if pushDownPredicates(q) {
+		changed = true
+	}
+	if pruneSubqueryColumns(q) {
+		changed = true
+	}
+	if dropRedundantDistinct(q) {
+		changed = true
+	}
+	if merged, ok := collapseIdentity(q); ok {
+		return merged, true
+	}
+	return q, changed
+}
+
+// ---------------------------------------------------------------------------
+// Join-tree canonicalization
+
+// flattenInnerJoins hoists top-level inner/cross join trees of the FROM
+// clause into the implicit join list, moving their ON conditions into
+// WHERE. An inner join's condition is equivalent to a WHERE conjunct, and
+// the planner's greedy join ordering considers every order over the
+// implicit list rather than the literal tree. Outer-join subtrees are
+// kept intact (their shape is semantically load-bearing).
+func flattenInnerJoins(q *algebra.Query) bool {
+	changed := false
+	var items []algebra.FromItem
+	var conds []algebra.Expr
+	var flatten func(fi algebra.FromItem)
+	flatten = func(fi algebra.FromItem) {
+		if j, ok := fi.(*algebra.FromJoin); ok &&
+			(j.Kind == algebra.JoinInner || j.Kind == algebra.JoinCross) {
+			flatten(j.Left)
+			flatten(j.Right)
+			if j.Cond != nil {
+				conds = append(conds, j.Cond)
+			}
+			changed = true
+			return
+		}
+		items = append(items, fi)
+	}
+	for _, fi := range q.From {
+		flatten(fi)
+	}
+	if !changed {
+		return false
+	}
+	q.From = items
+	q.Where = algebra.AndAll(append([]algebra.Expr{q.Where}, conds...))
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Subquery unnesting
+
+// isSimpleSPJ reports whether the node is a plain select-project-join
+// block that can be merged into a parent: no aggregation, grouping,
+// HAVING, DISTINCT, set operation, ordering or limit, and a non-empty
+// FROM clause.
+func isSimpleSPJ(q *algebra.Query) bool {
+	return q != nil && !q.IsSetOp() && !q.HasAggs && len(q.GroupBy) == 0 &&
+		q.Having == nil && !q.Distinct && q.Limit == nil && q.Offset == nil &&
+		len(q.OrderBy) == 0 && len(q.From) > 0
+}
+
+// refSite describes where a range-table entry sits in the FROM forest:
+// how many outer-join nullable boundaries separate it from the top, and
+// (when exactly one does) the join whose condition gates it.
+type refSite struct {
+	crossings int
+	gate      *algebra.FromJoin
+}
+
+func locateRef(items []algebra.FromItem, rt int) *refSite {
+	for _, fi := range items {
+		if s := locateIn(fi, rt); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+func locateIn(fi algebra.FromItem, rt int) *refSite {
+	switch n := fi.(type) {
+	case *algebra.FromRef:
+		if n.RT == rt {
+			return &refSite{}
+		}
+	case *algebra.FromJoin:
+		if s := locateIn(n.Left, rt); s != nil {
+			if n.Kind == algebra.JoinRight || n.Kind == algebra.JoinFull {
+				s.crossings++
+				s.gate = n
+			}
+			return s
+		}
+		if s := locateIn(n.Right, rt); s != nil {
+			if n.Kind == algebra.JoinLeft || n.Kind == algebra.JoinFull {
+				s.crossings++
+				s.gate = n
+			}
+			return s
+		}
+	}
+	return nil
+}
+
+// allVarTargets reports whether every target entry is a plain column
+// reference. Required when merging into the nullable side of an outer
+// join: a Var passes the join's null-extension through unchanged, while
+// e.g. a constant would stop evaluating to NULL for unmatched rows.
+func allVarTargets(q *algebra.Query) bool {
+	for _, te := range q.TargetList {
+		if _, ok := te.Expr.(*algebra.Var); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// unnestOne merges the first eligible subquery entry into q and reports
+// whether it did. Merging renumbers entries, so the caller restarts the
+// scan after every merge.
+func unnestOne(q *algebra.Query) bool {
+	for rt, rte := range q.RangeTable {
+		if rte.Kind != algebra.RTESubquery || !isSimpleSPJ(rte.Subquery) {
+			continue
+		}
+		site := locateRef(q.From, rt)
+		if site == nil || site.crossings > 1 {
+			continue
+		}
+		if site.crossings == 1 &&
+			(site.gate.Kind == algebra.JoinFull || !allVarTargets(rte.Subquery)) {
+			continue
+		}
+		mergeSubquery(q, rt, site)
+		return true
+	}
+	return false
+}
+
+// mergeSubquery splices the child block at range-table index rt into q:
+// the child's entries join q's range table, parent references to the
+// child's outputs are replaced by the child's target expressions, the
+// child's FROM clause takes the place of the subquery reference, and the
+// child's WHERE clause conjoins into q's WHERE (or, on the nullable side
+// of an outer join, into that join's condition).
+func mergeSubquery(q *algebra.Query, rt int, site *refSite) {
+	child := q.RangeTable[rt].Subquery
+	base := len(q.RangeTable)
+
+	seen := make(map[string]bool, base)
+	for i, r := range q.RangeTable {
+		if i != rt {
+			seen[r.Alias] = true
+		}
+	}
+	for _, r := range child.RangeTable {
+		r.Alias = uniqueAlias(r.Alias, seen)
+		q.RangeTable = append(q.RangeTable, r)
+	}
+
+	shift := func(e algebra.Expr) algebra.Expr {
+		return algebra.SubstituteVars(e, func(v *algebra.Var) algebra.Expr {
+			if v.RT < 0 {
+				return nil
+			}
+			c := *v
+			c.RT += base
+			return &c
+		})
+	}
+
+	targets := make([]algebra.Expr, len(child.TargetList))
+	for i, te := range child.TargetList {
+		targets[i] = shift(te.Expr)
+	}
+	q.MapOwnExprs(func(x algebra.Expr) algebra.Expr {
+		if v, ok := x.(*algebra.Var); ok && v.RT == rt {
+			return algebra.CopyExpr(targets[v.Col])
+		}
+		return x
+	})
+
+	shifted := make([]algebra.FromItem, len(child.From))
+	for i, fi := range child.From {
+		shifted[i] = shiftFromItem(fi, base, shift)
+	}
+	spliced := false
+	for i, fi := range q.From {
+		// A direct member of the implicit join list splices in as more
+		// list members, keeping the planner free to greedy-order them.
+		if r, ok := fi.(*algebra.FromRef); ok && r.RT == rt {
+			q.From = append(q.From[:i], append(shifted, q.From[i+1:]...)...)
+			spliced = true
+			break
+		}
+	}
+	if !spliced {
+		// Inside a join tree the child must stay a single unit; fold its
+		// items into a cross-join chain at the reference's position.
+		childFrom := shifted[0]
+		for _, sh := range shifted[1:] {
+			childFrom = &algebra.FromJoin{Kind: algebra.JoinCross, Left: childFrom, Right: sh}
+		}
+		algebra.ReplaceFromRef(q.From, rt, childFrom)
+	}
+
+	if child.Where != nil {
+		where := shift(child.Where)
+		if site.crossings == 1 {
+			site.gate.Cond = algebra.AndAll([]algebra.Expr{site.gate.Cond, where})
+		} else {
+			q.Where = algebra.AndAll([]algebra.Expr{q.Where, where})
+		}
+	}
+	// The merged entry is now unreferenced; removeDeadRTEs reclaims it.
+}
+
+func shiftFromItem(fi algebra.FromItem, base int, shift func(algebra.Expr) algebra.Expr) algebra.FromItem {
+	switch n := fi.(type) {
+	case *algebra.FromRef:
+		return &algebra.FromRef{RT: n.RT + base}
+	case *algebra.FromJoin:
+		out := &algebra.FromJoin{
+			Kind:  n.Kind,
+			Left:  shiftFromItem(n.Left, base, shift),
+			Right: shiftFromItem(n.Right, base, shift),
+		}
+		if n.Cond != nil {
+			out.Cond = shift(n.Cond)
+		}
+		return out
+	default:
+		return fi
+	}
+}
+
+func uniqueAlias(alias string, seen map[string]bool) string {
+	out := alias
+	for n := 2; seen[out]; n++ {
+		out = alias + "_" + strconv.Itoa(n)
+	}
+	seen[out] = true
+	return out
+}
+
+// removeDeadRTEs drops range-table entries no longer referenced by the
+// FROM forest or any expression, renumbering the survivors.
+func removeDeadRTEs(q *algebra.Query) bool {
+	if q.IsSetOp() {
+		return false
+	}
+	live := make(map[int]bool, len(q.RangeTable))
+	for _, fi := range q.From {
+		algebra.FromRTs(fi, live)
+	}
+	for rt := range q.ColumnUses() {
+		live[rt] = true
+	}
+	if len(live) == len(q.RangeTable) {
+		return false
+	}
+	remap := make([]int, len(q.RangeTable))
+	var kept []*algebra.RTE
+	for i, rte := range q.RangeTable {
+		if live[i] {
+			remap[i] = len(kept)
+			kept = append(kept, rte)
+		} else {
+			remap[i] = -1
+		}
+	}
+	q.RangeTable = kept
+	q.MapOwnExprs(func(x algebra.Expr) algebra.Expr {
+		if v, ok := x.(*algebra.Var); ok && v.RT >= 0 {
+			c := *v
+			c.RT = remap[v.RT]
+			return &c
+		}
+		return x
+	})
+	algebra.RenumberFrom(q.From, remap)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Predicate pushdown
+
+// pushDownPredicates moves WHERE conjuncts that reference exactly one
+// subquery entry into that subquery's own WHERE clause. Entries on the
+// nullable side of an outer join are excluded (the filter must see the
+// null-extended rows), as are conjuncts with sublinks (kept above joins
+// so subplans are evaluated as rarely as possible).
+func pushDownPredicates(q *algebra.Query) bool {
+	if q.Where == nil {
+		return false
+	}
+	changed := false
+	var kept []algebra.Expr
+	for _, c := range algebra.Conjuncts(q.Where) {
+		rt, ok := soleRT(c)
+		if !ok || rt >= len(q.RangeTable) || algebra.ContainsSubLink(c) {
+			kept = append(kept, c)
+			continue
+		}
+		rte := q.RangeTable[rt]
+		if rte.Kind != algebra.RTESubquery {
+			kept = append(kept, c)
+			continue
+		}
+		site := locateRef(q.From, rt)
+		if site == nil || site.crossings != 0 || !pushInto(rte.Subquery, c, rt, true) {
+			kept = append(kept, c)
+			continue
+		}
+		pushInto(rte.Subquery, c, rt, false)
+		changed = true
+	}
+	if changed {
+		q.Where = algebra.AndAll(kept)
+	}
+	return changed
+}
+
+// soleRT returns the single non-negative range-table index referenced by
+// the expression, if there is exactly one.
+func soleRT(e algebra.Expr) (int, bool) {
+	rts := algebra.VarsUsed(e)
+	if len(rts) != 1 {
+		return 0, false
+	}
+	for rt := range rts {
+		if rt < 0 {
+			return 0, false
+		}
+		return rt, true
+	}
+	return 0, false
+}
+
+// pushInto pushes a parent predicate over entry rt into the child's WHERE
+// clause. Set-operation children receive the predicate in every branch
+// (filters distribute over union, intersection and difference);
+// aggregated children accept only predicates over projected grouping
+// expressions. With dryRun the eligibility check runs without mutating,
+// which the all-branches-or-nothing set-operation case needs.
+func pushInto(child *algebra.Query, pred algebra.Expr, rt int, dryRun bool) bool {
+	if child == nil || child.Limit != nil || child.Offset != nil {
+		return false
+	}
+	if child.IsSetOp() {
+		for _, rte := range child.RangeTable {
+			if rte.Kind != algebra.RTESubquery || !pushInto(rte.Subquery, pred, rt, true) {
+				return false
+			}
+		}
+		if !dryRun {
+			for _, rte := range child.RangeTable {
+				pushInto(rte.Subquery, pred, rt, false)
+			}
+		}
+		return true
+	}
+	if child.HasAggs {
+		ok := true
+		algebra.WalkExpr(pred, func(x algebra.Expr) {
+			v, isVar := x.(*algebra.Var)
+			if !isVar || v.RT != rt || !ok {
+				return
+			}
+			te := child.TargetList[v.Col].Expr
+			if algebra.ContainsAgg(te) || !exprInList(te, child.GroupBy) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	if dryRun {
+		return true
+	}
+	mapped := algebra.SubstituteVars(pred, func(v *algebra.Var) algebra.Expr {
+		if v.RT != rt {
+			return nil
+		}
+		return algebra.CopyExpr(child.TargetList[v.Col].Expr)
+	})
+	child.Where = algebra.AndAll([]algebra.Expr{child.Where, mapped})
+	return true
+}
+
+func exprInList(e algebra.Expr, list []algebra.Expr) bool {
+	for _, l := range list {
+		if algebra.EqualExpr(e, l) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Projection pruning
+
+// pruneSubqueryColumns trims target-list entries of subquery entries that
+// the parent never references. DISTINCT and set-operation children are
+// exempt (dropping a column there changes row multiplicities); the root's
+// own target list is never touched since pruning is always parent-driven.
+func pruneSubqueryColumns(q *algebra.Query) bool {
+	uses := q.ColumnUses()
+	changed := false
+	for rt, rte := range q.RangeTable {
+		if rte.Kind != algebra.RTESubquery {
+			continue
+		}
+		child := rte.Subquery
+		if child == nil || child.IsSetOp() || child.Distinct {
+			continue
+		}
+		used := make(map[int]bool, len(uses[rt]))
+		for col := range uses[rt] {
+			used[col] = true
+		}
+		// ORDER BY entries naming output positions pin those columns.
+		for _, si := range child.OrderBy {
+			if v, ok := si.Expr.(*algebra.Var); ok && v.RT == outputRT {
+				used[v.Col] = true
+			}
+		}
+		if len(used) == 0 {
+			used[0] = true // keep one column: the entry still drives cardinality
+		}
+		if len(used) >= len(child.TargetList) {
+			continue
+		}
+		remap := make([]int, len(child.TargetList))
+		var newTL []algebra.TargetEntry
+		for i, te := range child.TargetList {
+			if used[i] {
+				remap[i] = len(newTL)
+				newTL = append(newTL, te)
+			} else {
+				remap[i] = -1
+			}
+		}
+		child.TargetList = newTL
+		for i := range child.OrderBy {
+			if v, ok := child.OrderBy[i].Expr.(*algebra.Var); ok && v.RT == outputRT {
+				nv := *v
+				nv.Col = remap[v.Col]
+				child.OrderBy[i].Expr = &nv
+			}
+		}
+		child.ProvCols = remapProvCols(child.ProvCols, remap)
+		rte.ProvCols = remapProvCols(rte.ProvCols, remap)
+		rte.Cols = child.Schema()
+		q.MapOwnExprs(func(x algebra.Expr) algebra.Expr {
+			if v, ok := x.(*algebra.Var); ok && v.RT == rt {
+				c := *v
+				c.Col = remap[v.Col]
+				return &c
+			}
+			return x
+		})
+		changed = true
+	}
+	return changed
+}
+
+func remapProvCols(pcs []algebra.ProvCol, remap []int) []algebra.ProvCol {
+	if pcs == nil {
+		return nil
+	}
+	out := pcs[:0]
+	for _, pc := range pcs {
+		if pc.Col < len(remap) && remap[pc.Col] >= 0 {
+			out = append(out, algebra.ProvCol{Col: remap[pc.Col], Name: pc.Name})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// DISTINCT elimination and identity collapse
+
+// dropRedundantDistinct clears the DISTINCT flag when the input rows are
+// provably pairwise distinct already: a grouped aggregation that projects
+// every grouping expression, or a pass-through projection covering every
+// column of a single already-distinct subquery.
+func dropRedundantDistinct(q *algebra.Query) bool {
+	if !q.Distinct {
+		return false
+	}
+	if q.HasAggs && len(q.GroupBy) > 0 && groupKeysProjected(q) {
+		q.Distinct = false
+		return true
+	}
+	if q.HasAggs || len(q.GroupBy) > 0 || len(q.From) != 1 {
+		return false
+	}
+	fr, ok := q.From[0].(*algebra.FromRef)
+	if !ok {
+		return false
+	}
+	rte := q.RangeTable[fr.RT]
+	if rte.Kind != algebra.RTESubquery || !distinctOutput(rte.Subquery) {
+		return false
+	}
+	covered := make(map[int]bool)
+	for _, te := range q.TargetList {
+		if v, ok := te.Expr.(*algebra.Var); ok && v.RT == fr.RT {
+			covered[v.Col] = true
+		}
+	}
+	if len(covered) < len(rte.Cols) {
+		return false
+	}
+	q.Distinct = false
+	return true
+}
+
+func groupKeysProjected(q *algebra.Query) bool {
+	for _, g := range q.GroupBy {
+		found := false
+		for _, te := range q.TargetList {
+			if algebra.EqualExpr(te.Expr, g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// distinctOutput reports whether the node's output rows are provably
+// pairwise distinct.
+func distinctOutput(q *algebra.Query) bool {
+	switch {
+	case q == nil:
+		return false
+	case q.IsSetOp():
+		return !q.SetOp.All // set-semantics result is deduplicated at the top
+	case q.Distinct:
+		return true
+	case q.HasAggs && len(q.GroupBy) == 0:
+		return true // single row
+	case q.HasAggs && groupKeysProjected(q):
+		return true // one row per group, all keys projected
+	default:
+		return false
+	}
+}
+
+// collapseIdentity replaces a bare pass-through projection (SELECT every
+// column of a single subquery, in order, with no other clauses) with the
+// subquery itself, keeping the wrapper's column names, provenance list
+// and ordering.
+func collapseIdentity(q *algebra.Query) (*algebra.Query, bool) {
+	if q.IsSetOp() || q.HasAggs || q.Distinct || q.Where != nil ||
+		len(q.GroupBy) > 0 || q.Having != nil || q.Limit != nil ||
+		q.Offset != nil || len(q.From) != 1 {
+		return q, false
+	}
+	fr, ok := q.From[0].(*algebra.FromRef)
+	if !ok {
+		return q, false
+	}
+	rte := q.RangeTable[fr.RT]
+	if rte.Kind != algebra.RTESubquery {
+		return q, false
+	}
+	child := rte.Subquery
+	if len(q.TargetList) != len(child.TargetList) {
+		return q, false
+	}
+	for i, te := range q.TargetList {
+		v, ok := te.Expr.(*algebra.Var)
+		if !ok || v.RT != fr.RT || v.Col != i {
+			return q, false
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		// The wrapper's ordering becomes the child's; a child LIMIT would
+		// have to apply before that ordering, which the child node cannot
+		// express.
+		if child.Limit != nil || child.Offset != nil {
+			return q, false
+		}
+		lifted := make([]algebra.SortItem, 0, len(q.OrderBy))
+		for _, si := range q.OrderBy {
+			v, ok := si.Expr.(*algebra.Var)
+			if !ok || (v.RT != outputRT && v.RT != fr.RT) {
+				return q, false
+			}
+			lifted = append(lifted, algebra.SortItem{
+				Expr: &algebra.Var{RT: outputRT, Col: v.Col, Name: v.Name, Typ: v.Typ},
+				Desc: si.Desc,
+			})
+		}
+		child.OrderBy = lifted
+	}
+	for i := range child.TargetList {
+		child.TargetList[i].Name = q.TargetList[i].Name
+	}
+	child.ProvCols = q.ProvCols
+	return child, true
+}

@@ -247,15 +247,20 @@ func (p *Planner) planFrom(q *algebra.Query) (*planned, error) {
 		return pl, nil
 	}
 
+	// The conjunct pool: WHERE conjuncts are consumed by planFromItem as
+	// deeply in the join tree as their references allow (scans and inner
+	// joins; only preserved sides of outer joins). Leftovers are
+	// distributed over the top-level items below.
+	pool := &conjPool{conjs: algebra.Conjuncts(hoistCommonOrConjuncts(q.Where))}
 	items := make([]*planned, 0, len(q.From))
 	for _, fi := range q.From {
-		pl, err := p.planFromItem(fi, q)
+		pl, err := p.planFromItem(fi, q, pool)
 		if err != nil {
 			return nil, err
 		}
 		items = append(items, pl)
 	}
-	conjuncts := algebra.Conjuncts(hoistCommonOrConjuncts(q.Where))
+	conjuncts := pool.conjs
 
 	// Push single-fragment conjuncts down as filters.
 	var remaining []algebra.Expr
@@ -612,23 +617,133 @@ func shiftedLayout(layout map[int]int, base int) map[int]int {
 	return out
 }
 
-func (p *Planner) planFromItem(fi algebra.FromItem, q *algebra.Query) (*planned, error) {
+// conjPool holds the WHERE conjuncts still looking for the deepest plan
+// position that can answer them.
+type conjPool struct {
+	conjs []algebra.Expr
+}
+
+// take removes and returns the sublink-free conjuncts fully answerable by
+// the given range-table entry set.
+func (cp *conjPool) take(rts map[int]bool) []algebra.Expr {
+	var taken, rest []algebra.Expr
+	for _, c := range cp.conjs {
+		used := algebra.VarsUsed(c)
+		if len(used) > 0 && subset(used, rts) && !algebra.ContainsSubLink(c) {
+			taken = append(taken, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	cp.conjs = rest
+	return taken
+}
+
+// planFromItem plans one FROM item, pushing applicable pool conjuncts
+// down to scans and into inner-join conditions along the way.
+func (p *Planner) planFromItem(fi algebra.FromItem, q *algebra.Query, pool *conjPool) (*planned, error) {
 	switch n := fi.(type) {
 	case *algebra.FromRef:
-		return p.planRTE(n.RT, q.RangeTable[n.RT])
+		pl, err := p.planRTE(n.RT, q.RangeTable[n.RT])
+		if err != nil {
+			return nil, err
+		}
+		if taken := pool.take(pl.rts); len(taken) > 0 {
+			binder := &rowBinder{p: p, layout: pl.layout}
+			pred, err := eval.Compile(algebra.AndAll(taken), binder)
+			if err != nil {
+				return nil, err
+			}
+			pl.node = exec.NewFilter(pl.node, pred)
+			pl.est *= 0.3
+		}
+		return pl, nil
 	case *algebra.FromJoin:
-		left, err := p.planFromItem(n.Left, q)
-		if err != nil {
-			return nil, err
-		}
-		right, err := p.planFromItem(n.Right, q)
-		if err != nil {
-			return nil, err
-		}
-		return p.buildJoin(left, right, n.Kind, n.Cond)
+		return p.planJoinItem(n, q, pool)
 	default:
 		return nil, fmt.Errorf("plan: unknown from item %T", fi)
 	}
+}
+
+// planJoinItem plans an explicit join, routing condition conjuncts to the
+// deepest valid position first:
+//
+//   - Inner/cross joins: the ON condition is WHERE-equivalent, so its
+//     sublink-free conjuncts enter the shared pool, sink to scans or
+//     deeper joins, and whatever still spans both sides returns to this
+//     join's condition (where buildJoin extracts hash keys).
+//   - Outer joins: conjuncts referencing only the nullable side may
+//     filter that input before the join (rows failing them can never
+//     match, and null-extension is unaffected); everything else — in
+//     particular conjuncts on the preserved side alone — must stay in the
+//     condition. WHERE-pool conjuncts are only offered to preserved sides.
+func (p *Planner) planJoinItem(n *algebra.FromJoin, q *algebra.Query, pool *conjPool) (*planned, error) {
+	if n.Kind == algebra.JoinInner || n.Kind == algebra.JoinCross {
+		var keep []algebra.Expr
+		for _, c := range algebra.Conjuncts(n.Cond) {
+			// Variable-free conjuncts stay here: pushdown cannot place
+			// them, and a pool leftover would be silently dropped when
+			// this join sits under a FULL JOIN's throwaway pools.
+			if algebra.ContainsSubLink(c) || len(algebra.VarsUsed(c)) == 0 {
+				keep = append(keep, c)
+			} else {
+				pool.conjs = append(pool.conjs, c)
+			}
+		}
+		left, err := p.planFromItem(n.Left, q, pool)
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.planFromItem(n.Right, q, pool)
+		if err != nil {
+			return nil, err
+		}
+		taken := pool.take(unionSets(left.rts, right.rts))
+		return p.buildJoin(left, right, n.Kind, algebra.AndAll(append(keep, taken...)))
+	}
+
+	var nullable algebra.FromItem
+	switch n.Kind {
+	case algebra.JoinLeft:
+		nullable = n.Right
+	case algebra.JoinRight:
+		nullable = n.Left
+	}
+	nullPool := &conjPool{}
+	var keep []algebra.Expr
+	if nullable != nil {
+		nullableRTs := make(map[int]bool)
+		algebra.FromRTs(nullable, nullableRTs)
+		for _, c := range algebra.Conjuncts(n.Cond) {
+			used := algebra.VarsUsed(c)
+			if len(used) > 0 && subset(used, nullableRTs) && !algebra.ContainsSubLink(c) {
+				nullPool.conjs = append(nullPool.conjs, c)
+			} else {
+				keep = append(keep, c)
+			}
+		}
+	} else {
+		keep = algebra.Conjuncts(n.Cond)
+	}
+	leftPool, rightPool := pool, nullPool
+	switch n.Kind {
+	case algebra.JoinRight:
+		leftPool, rightPool = nullPool, pool
+	case algebra.JoinFull:
+		leftPool, rightPool = &conjPool{}, &conjPool{}
+	}
+	left, err := p.planFromItem(n.Left, q, leftPool)
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.planFromItem(n.Right, q, rightPool)
+	if err != nil {
+		return nil, err
+	}
+	// Conjuncts the nullable side could not absorb return to the condition.
+	keep = append(keep, nullPool.conjs...)
+	nullPool.conjs = nil
+	return p.buildJoin(left, right, n.Kind, algebra.AndAll(keep))
 }
 
 func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {

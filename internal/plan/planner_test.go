@@ -209,3 +209,92 @@ func TestOrHoistingPreservesSemantics(t *testing.T) {
 		t.Errorf("count = %s, want 10", rows[0][0])
 	}
 }
+
+// TestJoinTreeConjunctRouting: WHERE conjuncts and inner ON conjuncts
+// must sink through explicit join trees down to the scans (the shapes the
+// logical optimizer emits put base relations under explicit joins).
+func TestJoinTreeConjunctRouting(t *testing.T) {
+	cat := testCatalog(t)
+	node := planFor(t, cat,
+		"SELECT big.b FROM (big JOIN small ON big.a = small.a) WHERE small.c < 5 AND big.b > 1")
+	out := plan.Explain(node)
+	if !strings.Contains(out, "HashJoin") {
+		t.Fatalf("inner ON equality should hash-join:\n%s", out)
+	}
+	// Both single-table predicates must appear below the join.
+	joinIdx := strings.Index(out, "HashJoin")
+	if strings.Count(out[joinIdx:], "Filter") != 2 {
+		t.Errorf("want both filters pushed below the join:\n%s", out)
+	}
+}
+
+// TestOuterJoinNullableSideFilter: an ON conjunct referencing only the
+// nullable side filters that input before the join; a conjunct on the
+// preserved side alone must stay in the join condition (filtering the
+// preserved input would change which rows are null-extended).
+func TestOuterJoinNullableSideFilter(t *testing.T) {
+	cat := testCatalog(t)
+	node := planFor(t, cat,
+		"SELECT big.b FROM big LEFT JOIN small ON big.a = small.a AND small.c < 5")
+	out := plan.Explain(node)
+	if !strings.Contains(out, "HashJoin (left") {
+		t.Fatalf("expected left hash join:\n%s", out)
+	}
+	joinIdx := strings.Index(out, "HashJoin")
+	if strings.Index(out[joinIdx:], "Filter") < 0 {
+		t.Errorf("nullable-side ON conjunct should filter the scan:\n%s", out)
+	}
+	rows, err := exec.Collect(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 1000 big rows survive the left join regardless of the filter.
+	if len(rows) != 1000 {
+		t.Errorf("left join lost preserved rows: %d", len(rows))
+	}
+
+	// Preserved-side-only conjunct: stays in the condition, so unmatched
+	// preserved rows are still emitted (null-extended), not filtered.
+	node = planFor(t, cat,
+		"SELECT big.b, small.c FROM big LEFT JOIN small ON big.a = small.a AND big.a < 3")
+	rows, err = exec.Collect(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1000 {
+		t.Errorf("preserved-side ON conjunct must not filter input rows: %d", len(rows))
+	}
+	matched := 0
+	for _, r := range rows {
+		if !r[1].Null {
+			matched++
+		}
+	}
+	if matched != 3 {
+		t.Errorf("matched rows = %d, want 3 (a in 0..2)", matched)
+	}
+}
+
+// TestConstantInnerJoinCondUnderFullJoin: a variable-free ON condition of
+// an inner join nested under a FULL JOIN must not be dropped (regression:
+// conjunct-pool leftovers under FULL JOIN's isolated pools were
+// discarded, turning `JOIN ... ON 1=0` into a cross join).
+func TestConstantInnerJoinCondUnderFullJoin(t *testing.T) {
+	cat := testCatalog(t)
+	node := planFor(t, cat,
+		"SELECT tiny.a, small.a, big.a FROM tiny FULL JOIN (small JOIN big ON 1 = 0) ON tiny.a = small.a")
+	rows, err := exec.Collect(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inner join is empty, so every tiny row null-extends and nothing
+	// comes from the right side.
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 null-extended tiny rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r[1].Null || !r[2].Null {
+			t.Errorf("right side must be null-extended: %v", r)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"perm/internal/algebra"
 	"perm/internal/analyze"
 	"perm/internal/catalog"
+	"perm/internal/optimize"
 	. "perm/internal/provrewrite"
 	"perm/internal/sql"
 	"perm/internal/types"
@@ -246,5 +247,65 @@ func TestBaseRelationRTE(t *testing.T) {
 	// The inner aggregation must NOT have been rewritten.
 	if q.RangeTable[0].Subquery == nil || !q.RangeTable[0].Subquery.HasAggs {
 		t.Error("BASERELATION subquery must stay unrewritten")
+	}
+}
+
+// TestRewrittenShapesAreOptimizable asserts the structural contract the
+// logical optimizer (package optimize) depends on: the rewriter's nested
+// shells are plain SPJ blocks wherever the rules permit, so the optimizer
+// can flatten them away — exactly the normalization the paper (§VI)
+// delegates to the PostgreSQL optimizer.
+func TestRewrittenShapesAreOptimizable(t *testing.T) {
+	cat := testCatalog(t)
+
+	// SPJ rewrite happens in place: no wrapper node, no new nesting.
+	q := rewriteSQL(t, cat, "SELECT PROVENANCE r.a FROM r, s WHERE r.a = s.a")
+	for _, rte := range q.RangeTable {
+		if rte.Kind == algebra.RTESubquery {
+			t.Errorf("SPJ rewrite introduced a subquery shell %q", rte.Alias)
+		}
+	}
+
+	// ASPJ rewrite: the rewritten duplicate (perm_agg_prov) must be a
+	// plain SPJ block — mergeable into the join-back top node — while the
+	// original aggregation keeps its boundary.
+	q = rewriteSQL(t, cat, "SELECT PROVENANCE b, count(*) FROM r GROUP BY b")
+	var dup *algebra.Query
+	for _, rte := range q.RangeTable {
+		if rte.Alias == "perm_agg_prov" {
+			dup = rte.Subquery
+		}
+	}
+	if dup == nil {
+		t.Fatal("rewritten aggregation lacks the perm_agg_prov duplicate")
+	}
+	if dup.HasAggs || dup.Distinct || len(dup.GroupBy) > 0 || dup.IsSetOp() ||
+		dup.Limit != nil || len(dup.OrderBy) > 0 {
+		t.Errorf("perm_agg_prov duplicate is not a plain SPJ block: %v", dup)
+	}
+
+	// After optimization the duplicate disappears entirely: the top node
+	// joins the aggregation against the base relation directly.
+	opt := optimize.Query(q)
+	aliases := make([]string, 0, len(opt.RangeTable))
+	baseRels := 0
+	for _, rte := range opt.RangeTable {
+		aliases = append(aliases, rte.Alias)
+		if rte.Kind == algebra.RTERelation {
+			baseRels++
+		}
+	}
+	if baseRels != 1 {
+		t.Errorf("optimized join-back should scan the base relation directly, got %v", aliases)
+	}
+
+	// Set-operation rewrite: every branch duplicate bottoms out in SPJ
+	// leaves the optimizer can flatten; provenance columns survive.
+	q = rewriteSQL(t, cat, "SELECT PROVENANCE a FROM r UNION SELECT a FROM s")
+	before := provNames(q)
+	opt = optimize.Query(q)
+	after := provNames(opt)
+	if strings.Join(before, ",") != strings.Join(after, ",") {
+		t.Errorf("optimization changed the P-list: %v vs %v", before, after)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"perm/internal/deparse"
 	"perm/internal/eval"
 	"perm/internal/exec"
+	"perm/internal/optimize"
 	"perm/internal/plan"
 	"perm/internal/provrewrite"
 	"perm/internal/sql"
@@ -52,6 +53,12 @@ type Options struct {
 	// (the paper's prototype used the simpler 3b variant; 3a avoids
 	// unnecessary intermediate results).
 	FlattenSetOps bool
+
+	// DisableOptimizer turns off the logical optimizer that flattens and
+	// prunes the (provenance-rewritten) query tree before planning. The
+	// optimizer is semantics-preserving; the switch exists as an escape
+	// hatch and for A/B measurement.
+	DisableOptimizer bool
 }
 
 // NewDatabase returns an empty database with default options.
@@ -158,18 +165,15 @@ func (r *Result) String() string {
 			if i > 0 {
 				sb.WriteString(" | ")
 			}
-			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], c)
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			} else {
+				sb.WriteString(c)
+			}
 		}
 		sb.WriteString("\n")
 	}
 	return sb.String()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Exec runs one or more semicolon-separated statements (DDL, DML or
@@ -288,14 +292,23 @@ func (db *Database) analyzer() *analyze.Analyzer {
 	return a
 }
 
-// analyzeAndRewrite runs analysis plus the provenance rewrite stage — the
-// "compilation" pipeline of the paper's Fig. 5 up to the planner.
+// analyzeAndRewrite runs analysis, the provenance rewrite stage and the
+// logical optimizer — the "compilation" pipeline of the paper's Fig. 5 up
+// to the planner, with the optimizer standing in for the normalization
+// PostgreSQL's own planner performs on the rewriter's nested output.
 func (db *Database) analyzeAndRewrite(sel *sql.SelectStmt) (*algebra.Query, error) {
 	q, err := db.analyzer().AnalyzeSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	return provrewrite.RewriteTree(q, provrewrite.Options{FlattenSetOps: db.opts.FlattenSetOps})
+	q, err = provrewrite.RewriteTree(q, provrewrite.Options{FlattenSetOps: db.opts.FlattenSetOps})
+	if err != nil {
+		return nil, err
+	}
+	if !db.opts.DisableOptimizer {
+		q = optimize.Query(q)
+	}
+	return q, nil
 }
 
 // CompileOnly parses and analyzes a query without the provenance rewrite
