@@ -28,11 +28,12 @@ func main() {
 		loadSF  = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor")
 		flatten = flag.Bool("flatten-setops", false, "use the Fig. 6(3a) set-operation rewrite variant")
 		noOpt   = flag.Bool("no-optimizer", false, "disable the logical optimizer (flattening/pruning of rewritten queries)")
+		noVec   = flag.Bool("no-vectorized", false, "disable the vectorized execution engine (run everything row-at-a-time)")
 		timing  = flag.Bool("timing", true, "print execution times")
 	)
 	flag.Parse()
 
-	db := perm.NewDatabaseWithOptions(perm.Options{FlattenSetOps: *flatten, DisableOptimizer: *noOpt})
+	db := perm.NewDatabaseWithOptions(perm.Options{FlattenSetOps: *flatten, DisableOptimizer: *noOpt, DisableVectorized: *noVec})
 	if *loadSF > 0 {
 		fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)
 		tpch.MustLoad(db, *loadSF, 42)

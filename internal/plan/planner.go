@@ -15,15 +15,24 @@ import (
 	"perm/internal/eval"
 	"perm/internal/exec"
 	"perm/internal/types"
+	"perm/internal/vexec"
 )
 
 // Planner plans query trees against a catalog.
 type Planner struct {
-	cat *catalog.Catalog
+	cat        *catalog.Catalog
+	vectorized bool
 }
 
-// New returns a planner.
-func New(cat *catalog.Catalog) *Planner { return &Planner{cat: cat} }
+// New returns a planner with the vectorized lowering path enabled.
+func New(cat *catalog.Catalog) *Planner { return &Planner{cat: cat, vectorized: true} }
+
+// SetVectorized toggles the vectorized lowering path (on by default).
+// When off, every plan subtree lowers to row-at-a-time operators.
+func (p *Planner) SetVectorized(on bool) *Planner {
+	p.vectorized = on
+	return p
+}
 
 // Plan lowers a query tree to an executable node.
 func (p *Planner) Plan(q *algebra.Query) (exec.Node, error) {
@@ -36,8 +45,18 @@ func (p *Planner) Plan(q *algebra.Query) (exec.Node, error) {
 
 // planned is a plan fragment: an executor node plus the layout of its
 // output row and a crude cardinality estimate for join ordering.
+//
+// When the whole fragment is vectorized, vnode holds the batch operator
+// tree and node is the same tree behind a batch→row adapter, so row
+// operators can always consume the fragment. Operators that stay on the
+// row engine clear vnode for everything above them.
 type planned struct {
-	node exec.Node
+	node  exec.Node
+	vnode vexec.Node
+	// rowScan lazily builds the row-engine scan for a fragment that is
+	// still a bare columnar scan, so a row-only consumer can take the
+	// heap rows directly instead of boxing every batch lane (demotion).
+	rowScan func() exec.Node
 	// layout maps range-table index → offset of that entry's columns in
 	// the output row.
 	layout map[int]int
@@ -53,6 +72,82 @@ func (p *Planner) planQuery(q *algebra.Query) (*planned, error) {
 		return p.planSetOp(q)
 	}
 	return p.planPlain(q)
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized lowering helpers
+
+// setVNode marks a fragment vectorized: its row node becomes the same
+// tree behind a batch→row adapter.
+func (p *Planner) setVNode(pl *planned, vn vexec.Node) {
+	pl.vnode = vn
+	pl.node = vexec.NewRowSource(vn)
+}
+
+// layoutVarBinder adapts a range-table layout for vectorized expression
+// compilation (flat batch positions mirror flat row positions).
+func layoutVarBinder(layout map[int]int) vexec.VarBinder {
+	return func(v *algebra.Var) (int, error) {
+		if v.RT == outputRT {
+			return 0, fmt.Errorf("plan: unexpected output-column reference %q", v.Name)
+		}
+		if v.RT == flatRT {
+			return v.Col, nil
+		}
+		off, ok := layout[v.RT]
+		if !ok {
+			return 0, fmt.Errorf("plan: column %q references an entry outside this fragment", v.Name)
+		}
+		return off + v.Col, nil
+	}
+}
+
+// flatVarBinder binds flat Vars (RT==flatRT) positionally for vectorized
+// compilation over computed rows (aggregate output).
+func flatVarBinder(v *algebra.Var) (int, error) {
+	if v.RT != flatRT {
+		return 0, fmt.Errorf("plan: unexpected var %q (rt=%d) over computed row", v.Name, v.RT)
+	}
+	return v.Col, nil
+}
+
+// demote reverts a fragment that is still a bare columnar scan to the
+// row-engine scan. The adapter over a bare scan only boxes rows the heap
+// already stores, so a row-only consumer is strictly better off with the
+// row snapshot; once the fragment carries vectorized filters, joins or
+// aggregation, adapting is worthwhile and demote leaves it alone.
+func demote(pl *planned) {
+	if pl.vnode == nil || pl.rowScan == nil {
+		return
+	}
+	if _, ok := pl.vnode.(*vexec.ColScan); ok {
+		pl.node = pl.rowScan()
+		pl.vnode = nil
+	}
+}
+
+// attachFilter adds a filter for e on top of the fragment, staying
+// vectorized when the predicate compiles for the batch engine and
+// falling back to a row filter (over the fragment's adapter) otherwise.
+func (p *Planner) attachFilter(pl *planned, e algebra.Expr) error {
+	if e == nil {
+		return nil
+	}
+	if pl.vnode != nil {
+		if ve, err := vexec.CompileExpr(e, layoutVarBinder(pl.layout)); err == nil && ve.Kind() == types.KindBool {
+			p.setVNode(pl, vexec.NewFilter(pl.vnode, ve))
+			return nil
+		}
+	}
+	demote(pl)
+	binder := &rowBinder{p: p, layout: pl.layout}
+	pred, err := eval.Compile(e, binder)
+	if err != nil {
+		return err
+	}
+	pl.vnode = nil
+	pl.node = exec.NewFilter(pl.node, pred)
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -124,16 +219,18 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 		return nil, err
 	}
 
-	// 2. Aggregation or plain projection.
+	// 2. Aggregation or plain projection. Both stay vectorized when the
+	// input fragment is and every expression compiles for the batch
+	// engine; otherwise the fragment drops to the row engine here.
 	var node exec.Node
+	var vnode vexec.Node
 	var outWidth = len(q.TargetList)
 	if q.HasAggs {
-		node, err = p.planAggregation(q, input)
+		node, vnode, err = p.planAggregation(q, input)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		binder := &rowBinder{p: p, layout: input.layout}
 		exprs := make([]algebra.Expr, len(q.TargetList))
 		for i, te := range q.TargetList {
 			exprs[i] = te.Expr
@@ -142,22 +239,37 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 		// output references.
 		extraSort := p.extraSortExprs(q)
 		exprs = append(exprs, extraSort...)
-		fns, err := eval.CompileAll(exprs, binder)
-		if err != nil {
-			return nil, err
+		if input.vnode != nil {
+			if ves, err := vexec.CompileExprs(exprs, layoutVarBinder(input.layout)); err == nil {
+				vnode = vexec.NewProject(input.vnode, ves)
+				node = vexec.NewRowSource(vnode)
+			}
 		}
-		node = exec.NewProject(input.node, fns)
+		if node == nil {
+			demote(input)
+			binder := &rowBinder{p: p, layout: input.layout}
+			fns, err := eval.CompileAll(exprs, binder)
+			if err != nil {
+				return nil, err
+			}
+			node = exec.NewProject(input.node, fns)
+		}
 	}
 
-	// 3. DISTINCT.
+	// 3. DISTINCT (row engine).
 	if q.Distinct {
 		node = exec.NewDistinct(node)
+		vnode = nil
 	}
 
-	// 4. ORDER BY / LIMIT / OFFSET (strips hidden sort columns).
+	// 4. ORDER BY / LIMIT / OFFSET (strips hidden sort columns; row
+	// engine, so sorting/limiting clears the vectorized handle).
 	node, err = p.applySortLimit(q, node, outWidth, nil)
 	if err != nil {
 		return nil, err
+	}
+	if len(q.OrderBy) > 0 || q.Limit != nil || q.Offset != nil {
+		vnode = nil
 	}
 
 	schema := q.Schema()
@@ -165,7 +277,7 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 	if q.HasAggs {
 		est = est/2 + 1
 	}
-	return &planned{node: node, kinds: schema.Kinds(), est: est}, nil
+	return &planned{node: node, vnode: vnode, kinds: schema.Kinds(), est: est}, nil
 }
 
 // extraSortExprs returns ORDER BY expressions that must be computed as
@@ -236,13 +348,8 @@ func (p *Planner) planFrom(q *algebra.Query) (*planned, error) {
 			rts:    map[int]bool{},
 			est:    1,
 		}
-		if q.Where != nil {
-			binder := &rowBinder{p: p, layout: pl.layout}
-			pred, err := eval.Compile(q.Where, binder)
-			if err != nil {
-				return nil, err
-			}
-			pl.node = exec.NewFilter(pl.node, pred)
+		if err := p.attachFilter(pl, q.Where); err != nil {
+			return nil, err
 		}
 		return pl, nil
 	}
@@ -276,12 +383,9 @@ func (p *Planner) planFrom(q *algebra.Query) (*planned, error) {
 		// Conjuncts with sublinks are kept above joins unless trivially
 		// local, to keep subplan evaluation count low.
 		if target >= 0 {
-			binder := &rowBinder{p: p, layout: items[target].layout}
-			pred, err := eval.Compile(c, binder)
-			if err != nil {
+			if err := p.attachFilter(items[target], c); err != nil {
 				return nil, err
 			}
-			items[target].node = exec.NewFilter(items[target].node, pred)
 			items[target].est *= 0.3
 			continue
 		}
@@ -336,12 +440,9 @@ func (p *Planner) planFrom(q *algebra.Query) (*planned, error) {
 
 	result := items[0]
 	if len(remaining) > 0 {
-		binder := &rowBinder{p: p, layout: result.layout}
-		pred, err := eval.Compile(algebra.AndAll(remaining), binder)
-		if err != nil {
+		if err := p.attachFilter(result, algebra.AndAll(remaining)); err != nil {
 			return nil, err
 		}
-		result.node = exec.NewFilter(result.node, pred)
 		result.est *= 0.3
 	}
 	return result, nil
@@ -563,6 +664,21 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 
 	combinedBinder := &rowBinder{p: p, layout: combined.layout}
 	if len(leftKeyExprs) > 0 {
+		// Vectorized hash join: inner and left joins whose key (and, for
+		// inner joins, residual) expressions compile for the batch engine.
+		// An inner-join residual becomes a vectorized filter above the
+		// join, which is equivalent; a left join with a residual falls
+		// back, because the residual takes part in the match decision.
+		if p.vectorized && left.vnode != nil && right.vnode != nil &&
+			(jt == exec.InnerJoin || (jt == exec.LeftJoin && len(residual) == 0)) {
+			if vj := p.tryVecHashJoin(left, right, leftKeyExprs, rightKeyExprs, nullSafe, residual, jt, combined); vj != nil {
+				p.setVNode(combined, vj)
+				combined.est = maxf(left.est, right.est)
+				return combined, nil
+			}
+		}
+		demote(left)
+		demote(right)
 		leftBinder := &rowBinder{p: p, layout: left.layout}
 		rightBinder := &rowBinder{p: p, layout: shiftedLayout(right.layout, 0)}
 		lk, err := eval.CompileAll(leftKeyExprs, leftBinder)
@@ -586,6 +702,8 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 		return combined, nil
 	}
 
+	demote(left)
+	demote(right)
 	var condFn eval.Func
 	if cond != nil {
 		var err error
@@ -600,6 +718,37 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 		combined.est = combined.est*0.3 + 1
 	}
 	return combined, nil
+}
+
+// tryVecHashJoin compiles the hash-join keys (and an inner join's
+// residual) for the batch engine and returns the vectorized join tree,
+// or nil when some expression is not vectorizable.
+func (p *Planner) tryVecHashJoin(left, right *planned, leftKeyExprs, rightKeyExprs []algebra.Expr,
+	nullSafe []bool, residual []algebra.Expr, jt exec.JoinType, combined *planned) vexec.Node {
+	lk, err := vexec.CompileExprs(leftKeyExprs, layoutVarBinder(left.layout))
+	if err != nil {
+		return nil
+	}
+	rk, err := vexec.CompileExprs(rightKeyExprs, layoutVarBinder(shiftedLayout(right.layout, 0)))
+	if err != nil {
+		return nil
+	}
+	var res *vexec.Expr
+	if len(residual) > 0 {
+		res, err = vexec.CompileExpr(algebra.AndAll(residual), layoutVarBinder(combined.layout))
+		if err != nil || res.Kind() != types.KindBool {
+			return nil
+		}
+	}
+	vjt := vexec.InnerJoin
+	if jt == exec.LeftJoin {
+		vjt = vexec.LeftJoin
+	}
+	var vn vexec.Node = vexec.NewHashJoin(left.vnode, right.vnode, lk, rk, nullSafe, vjt, left.kinds, right.kinds)
+	if res != nil {
+		vn = vexec.NewFilter(vn, res)
+	}
+	return vn
 }
 
 // shiftedLayout returns a copy of a layout rebased to the given start.
@@ -649,12 +798,9 @@ func (p *Planner) planFromItem(fi algebra.FromItem, q *algebra.Query, pool *conj
 			return nil, err
 		}
 		if taken := pool.take(pl.rts); len(taken) > 0 {
-			binder := &rowBinder{p: p, layout: pl.layout}
-			pred, err := eval.Compile(algebra.AndAll(taken), binder)
-			if err != nil {
+			if err := p.attachFilter(pl, algebra.AndAll(taken)); err != nil {
 				return nil, err
 			}
-			pl.node = exec.NewFilter(pl.node, pred)
 			pl.est *= 0.3
 		}
 		return pl, nil
@@ -753,11 +899,26 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 		if !ok {
 			return nil, fmt.Errorf("plan: table %q disappeared", rte.RelName)
 		}
+		kinds := rte.Cols.Kinds()
+		if p.vectorized {
+			if cols, n, ok := t.Heap.SnapshotColumns(kinds); ok {
+				heap := t.Heap
+				pl := &planned{
+					layout:  map[int]int{rt: 0},
+					kinds:   kinds,
+					rts:     map[int]bool{rt: true},
+					est:     float64(n) + 1,
+					rowScan: func() exec.Node { return exec.NewScan(heap.Snapshot()) },
+				}
+				p.setVNode(pl, vexec.NewColScan(cols, n))
+				return pl, nil
+			}
+		}
 		rows := t.Heap.Snapshot()
 		return &planned{
 			node:   exec.NewScan(rows),
 			layout: map[int]int{rt: 0},
-			kinds:  rte.Cols.Kinds(),
+			kinds:  kinds,
 			rts:    map[int]bool{rt: true},
 			est:    float64(len(rows)) + 1,
 		}, nil
@@ -768,6 +929,7 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 		}
 		return &planned{
 			node:   sub.node,
+			vnode:  sub.vnode,
 			layout: map[int]int{rt: 0},
 			kinds:  rte.Cols.Kinds(),
 			rts:    map[int]bool{rt: true},
@@ -810,15 +972,11 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 // planAggregation builds the HashAgg node plus the post-aggregation
 // HAVING filter and projection. It rewrites target/HAVING/ORDER BY
 // expressions to reference the aggregate output row (groups first, then
-// aggregate results).
-func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, error) {
-	inBinder := &rowBinder{p: p, layout: input.layout}
-
-	groupFns, err := eval.CompileAll(q.GroupBy, inBinder)
-	if err != nil {
-		return nil, err
-	}
-
+// aggregate results). The aggregation, the HAVING filter and the final
+// projection each stay vectorized as long as their expressions compile
+// for the batch engine; the first unsupported stage drops to the row
+// engine over the vectorized prefix.
+func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, vexec.Node, error) {
 	// Collect distinct aggregate references from targets, HAVING and
 	// ORDER BY expressions.
 	var aggRefs []*algebra.AggRef
@@ -842,36 +1000,51 @@ func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, 
 		collect(si.Expr)
 	}
 
-	specs := make([]exec.AggSpec, len(aggRefs))
-	for i, ar := range aggRefs {
-		spec := exec.AggSpec{Distinct: ar.Distinct, ResultKind: ar.Typ}
-		switch ar.Fn {
-		case algebra.AggCount:
-			if ar.Star {
-				spec.Kind = exec.AggCountStar
-			} else {
-				spec.Kind = exec.AggCount
-			}
-		case algebra.AggSum:
-			spec.Kind = exec.AggSum
-		case algebra.AggAvg:
-			spec.Kind = exec.AggAvg
-		case algebra.AggMin:
-			spec.Kind = exec.AggMin
-		case algebra.AggMax:
-			spec.Kind = exec.AggMax
+	var node exec.Node
+	var vnode vexec.Node
+	if input.vnode != nil {
+		if vn := p.tryVecAgg(q, input, aggRefs); vn != nil {
+			vnode = vn
+			node = vexec.NewRowSource(vn)
 		}
-		if ar.Arg != nil {
-			fn, err := eval.Compile(ar.Arg, inBinder)
-			if err != nil {
-				return nil, err
-			}
-			spec.Arg = fn
-		}
-		specs[i] = spec
 	}
-
-	node := exec.Node(exec.NewHashAgg(input.node, groupFns, specs))
+	if node == nil {
+		demote(input)
+		inBinder := &rowBinder{p: p, layout: input.layout}
+		groupFns, err := eval.CompileAll(q.GroupBy, inBinder)
+		if err != nil {
+			return nil, nil, err
+		}
+		specs := make([]exec.AggSpec, len(aggRefs))
+		for i, ar := range aggRefs {
+			spec := exec.AggSpec{Distinct: ar.Distinct, ResultKind: ar.Typ}
+			switch ar.Fn {
+			case algebra.AggCount:
+				if ar.Star {
+					spec.Kind = exec.AggCountStar
+				} else {
+					spec.Kind = exec.AggCount
+				}
+			case algebra.AggSum:
+				spec.Kind = exec.AggSum
+			case algebra.AggAvg:
+				spec.Kind = exec.AggAvg
+			case algebra.AggMin:
+				spec.Kind = exec.AggMin
+			case algebra.AggMax:
+				spec.Kind = exec.AggMax
+			}
+			if ar.Arg != nil {
+				fn, err := eval.Compile(ar.Arg, inBinder)
+				if err != nil {
+					return nil, nil, err
+				}
+				spec.Arg = fn
+			}
+			specs[i] = spec
+		}
+		node = exec.NewHashAgg(input.node, groupFns, specs)
+	}
 
 	// Aggregate output layout: group values 0..G-1, aggregates G..G+A-1.
 	mapAgg := func(e algebra.Expr) (algebra.Expr, error) {
@@ -882,35 +1055,103 @@ func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, 
 	if q.Having != nil {
 		mapped, err := mapAgg(q.Having)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		pred, err := eval.Compile(mapped, aggBinder)
-		if err != nil {
-			return nil, err
+		attached := false
+		if vnode != nil {
+			if ve, verr := vexec.CompileExpr(mapped, flatVarBinder); verr == nil && ve.Kind() == types.KindBool {
+				vnode = vexec.NewFilter(vnode, ve)
+				node = vexec.NewRowSource(vnode)
+				attached = true
+			}
 		}
-		node = exec.NewFilter(node, pred)
+		if !attached {
+			pred, err := eval.Compile(mapped, aggBinder)
+			if err != nil {
+				return nil, nil, err
+			}
+			node = exec.NewFilter(node, pred)
+			vnode = nil
+		}
 	}
 
 	exprs := make([]algebra.Expr, 0, len(q.TargetList))
 	for _, te := range q.TargetList {
 		mapped, err := mapAgg(te.Expr)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		exprs = append(exprs, mapped)
 	}
 	for _, se := range p.extraSortExprs(q) {
 		mapped, err := mapAgg(se)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		exprs = append(exprs, mapped)
 	}
+	if vnode != nil {
+		if ves, verr := vexec.CompileExprs(exprs, flatVarBinder); verr == nil {
+			vnode = vexec.NewProject(vnode, ves)
+			return vexec.NewRowSource(vnode), vnode, nil
+		}
+	}
 	fns, err := eval.CompileAll(exprs, aggBinder)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return exec.NewProject(node, fns), nil
+	return exec.NewProject(node, fns), nil, nil
+}
+
+// tryVecAgg compiles the aggregation itself for the batch engine:
+// vectorizable group expressions and aggregate arguments, no DISTINCT
+// aggregates, and aggregate kinds the columnar accumulators cover.
+// Returns nil when the row engine must aggregate instead.
+func (p *Planner) tryVecAgg(q *algebra.Query, input *planned, aggRefs []*algebra.AggRef) vexec.Node {
+	bind := layoutVarBinder(input.layout)
+	groups, err := vexec.CompileExprs(q.GroupBy, bind)
+	if err != nil {
+		return nil
+	}
+	specs := make([]vexec.AggSpec, len(aggRefs))
+	for i, ar := range aggRefs {
+		if ar.Distinct {
+			return nil
+		}
+		spec := vexec.AggSpec{Fn: ar.Fn, Star: ar.Star, ResultKind: ar.Typ}
+		var argKind types.Kind
+		if ar.Arg != nil {
+			arg, err := vexec.CompileExpr(ar.Arg, bind)
+			if err != nil {
+				return nil
+			}
+			spec.Arg = arg
+			argKind = arg.Kind()
+		}
+		switch ar.Fn {
+		case algebra.AggCount:
+			if ar.Typ != types.KindInt {
+				return nil
+			}
+		case algebra.AggSum:
+			if !argKind.Numeric() || (ar.Typ != types.KindInt && ar.Typ != types.KindFloat) {
+				return nil
+			}
+		case algebra.AggAvg:
+			if !argKind.Numeric() || ar.Typ != types.KindFloat {
+				return nil
+			}
+		case algebra.AggMin, algebra.AggMax:
+			ok := argKind == ar.Typ || (argKind.Numeric() && ar.Typ.Numeric())
+			if !ok {
+				return nil
+			}
+		default:
+			return nil
+		}
+		specs[i] = spec
+	}
+	return vexec.NewHashAgg(input.vnode, groups, specs)
 }
 
 // mapToAggOutput rewrites an expression over the aggregation input into
@@ -1256,8 +1497,50 @@ func explainNode(n exec.Node, depth int, out *[]byte) {
 		*out = append(*out, fmt.Sprintf("SetOp (%s, all=%v)\n", setOpName(x.Kind), x.All)...)
 		explainNode(x.Left, depth+1, out)
 		explainNode(x.Right, depth+1, out)
+	case *vexec.RowSource:
+		*out = append(*out, "BatchToRow\n"...)
+		explainVNode(x.Input, depth+1, out)
 	default:
 		*out = append(*out, fmt.Sprintf("%T\n", n)...)
+	}
+}
+
+// explainVNode renders a vectorized subtree (below a BatchToRow adapter).
+func explainVNode(n vexec.Node, depth int, out *[]byte) {
+	indent := make([]byte, depth*2)
+	for i := range indent {
+		indent[i] = ' '
+	}
+	*out = append(*out, indent...)
+	switch x := n.(type) {
+	case *vexec.ColScan:
+		*out = append(*out, fmt.Sprintf("VecScan (%d rows)\n", x.NumRows)...)
+	case *vexec.Filter:
+		*out = append(*out, "VecFilter\n"...)
+		explainVNode(x.Input, depth+1, out)
+	case *vexec.Project:
+		*out = append(*out, fmt.Sprintf("VecProject (%d cols)\n", len(x.Exprs))...)
+		explainVNode(x.Input, depth+1, out)
+	case *vexec.HashJoin:
+		*out = append(*out, fmt.Sprintf("VecHashJoin (%s, %d keys)\n", vecJoinName(x.Type), len(x.LeftKeys))...)
+		explainVNode(x.Left, depth+1, out)
+		explainVNode(x.Right, depth+1, out)
+	case *vexec.HashAgg:
+		*out = append(*out, fmt.Sprintf("VecHashAggregate (%d groups, %d aggs)\n", len(x.Groups), len(x.Aggs))...)
+		explainVNode(x.Input, depth+1, out)
+	default:
+		*out = append(*out, fmt.Sprintf("%T\n", n)...)
+	}
+}
+
+func vecJoinName(t vexec.JoinType) string {
+	switch t {
+	case vexec.InnerJoin:
+		return "inner"
+	case vexec.LeftJoin:
+		return "left"
+	default:
+		return "?"
 	}
 }
 

@@ -8,13 +8,27 @@ import (
 	"sync"
 
 	"perm/internal/types"
+	"perm/internal/vector"
 )
 
 // Heap is an append-only (plus delete) row store.
 type Heap struct {
-	mu    sync.RWMutex
-	width int
-	rows  []types.Row
+	mu      sync.RWMutex
+	width   int
+	rows    []types.Row
+	version uint64   // bumped on every mutation; invalidates colSnap
+	colSnap *colSnap // cached columnar snapshot for vectorized scans
+}
+
+// colSnap caches the columnar pivot of the heap at one version so
+// vectorized scans don't re-pivot rows on every query. The column
+// vectors are shared read-only across queries.
+type colSnap struct {
+	version uint64
+	kinds   []types.Kind
+	cols    []*vector.Vec
+	n       int
+	ok      bool
 }
 
 // NewHeap returns an empty heap expecting rows of the given width.
@@ -30,6 +44,7 @@ func (h *Heap) Insert(r types.Row) error {
 	}
 	h.mu.Lock()
 	h.rows = append(h.rows, r)
+	h.version++
 	h.mu.Unlock()
 	return nil
 }
@@ -43,6 +58,7 @@ func (h *Heap) InsertAll(rs []types.Row) error {
 	}
 	h.mu.Lock()
 	h.rows = append(h.rows, rs...)
+	h.version++
 	h.mu.Unlock()
 	return nil
 }
@@ -64,11 +80,53 @@ func (h *Heap) Snapshot() []types.Row {
 	return out
 }
 
+// SnapshotColumns returns a columnar snapshot of the heap for the given
+// declared column kinds, pivoting the rows at most once per heap version
+// (the result is cached and shared, read-only, until the next mutation).
+// ok is false when some column kind is not vectorizable or some stored
+// value does not fit its declared kind; callers then fall back to the
+// row snapshot.
+func (h *Heap) SnapshotColumns(kinds []types.Kind) (cols []*vector.Vec, n int, ok bool) {
+	h.mu.RLock()
+	if s := h.colSnap; s != nil && s.version == h.version && kindsEqual(s.kinds, kinds) {
+		cols, n, ok = s.cols, s.n, s.ok
+		h.mu.RUnlock()
+		return cols, n, ok
+	}
+	h.mu.RUnlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.colSnap; s != nil && s.version == h.version && kindsEqual(s.kinds, kinds) {
+		return s.cols, s.n, s.ok
+	}
+	s := &colSnap{version: h.version, kinds: append([]types.Kind(nil), kinds...), n: len(h.rows)}
+	s.cols, s.ok = vector.FromRows(h.rows, kinds)
+	h.colSnap = s
+	return s.cols, s.n, s.ok
+}
+
+func kindsEqual(a, b []types.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // DeleteWhere removes rows matching the predicate and returns how many
 // were removed.
 func (h *Heap) DeleteWhere(match func(types.Row) (bool, error)) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	// Bump the version up front: the compaction below mutates the row
+	// slice in place, so even an error part-way through must invalidate
+	// the cached columnar snapshot.
+	h.version++
 	kept := h.rows[:0]
 	removed := 0
 	for _, r := range h.rows {
@@ -83,6 +141,7 @@ func (h *Heap) DeleteWhere(match func(types.Row) (bool, error)) (int, error) {
 		}
 	}
 	h.rows = kept
+	h.version++
 	return removed, nil
 }
 
@@ -90,5 +149,6 @@ func (h *Heap) DeleteWhere(match func(types.Row) (bool, error)) (int, error) {
 func (h *Heap) Truncate() {
 	h.mu.Lock()
 	h.rows = nil
+	h.version++
 	h.mu.Unlock()
 }

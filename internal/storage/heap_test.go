@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -105,5 +106,128 @@ func TestConcurrentInsertAndRead(t *testing.T) {
 	wg.Wait()
 	if h.Len() != 2000 {
 		t.Fatalf("Len = %d, want 2000", h.Len())
+	}
+}
+
+func TestSnapshotColumns(t *testing.T) {
+	h := NewHeap(2)
+	kinds := []types.Kind{types.KindInt, types.KindInt}
+	if err := h.Insert(row(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Insert(types.Row{types.NewInt(2), types.NewNull(types.KindInt)}); err != nil {
+		t.Fatal(err)
+	}
+	cols, n, ok := h.SnapshotColumns(kinds)
+	if !ok || n != 2 || len(cols) != 2 {
+		t.Fatalf("SnapshotColumns = (%v, %d, %v)", cols, n, ok)
+	}
+	if cols[0].Value(0).I != 1 || cols[0].Value(1).I != 2 {
+		t.Fatal("column 0 values wrong")
+	}
+	if cols[1].Value(0).I != 10 || !cols[1].IsNull(1) {
+		t.Fatal("column 1 values wrong")
+	}
+
+	// The snapshot is cached until the heap mutates: same backing vectors.
+	cols2, _, _ := h.SnapshotColumns(kinds)
+	if cols2[0] != cols[0] {
+		t.Fatal("unchanged heap must reuse the cached column snapshot")
+	}
+	if err := h.Insert(row(3, 30)); err != nil {
+		t.Fatal(err)
+	}
+	cols3, n3, ok := h.SnapshotColumns(kinds)
+	if !ok || n3 != 3 || cols3[0] == cols[0] {
+		t.Fatal("mutation must invalidate the cached snapshot")
+	}
+	if cols3[0].Value(2).I != 3 {
+		t.Fatal("new row missing from refreshed snapshot")
+	}
+
+	// A stored value that does not fit its declared kind rejects the
+	// pivot (the planner then falls back to the row snapshot).
+	if err := h.Insert(types.Row{types.NewString("oops"), types.NewInt(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := h.SnapshotColumns(kinds); ok {
+		t.Fatal("mismatched value kinds must reject the columnar snapshot")
+	}
+	// The negative result is cached too.
+	if _, _, ok := h.SnapshotColumns(kinds); ok {
+		t.Fatal("cached negative result expected")
+	}
+}
+
+func TestSnapshotColumnsConcurrent(t *testing.T) {
+	h := NewHeap(1)
+	kinds := []types.Kind{types.KindInt}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 300; i++ {
+				if err := h.Insert(row(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				if cols, n, ok := h.SnapshotColumns(kinds); ok && n > 0 {
+					_ = cols[0].Value(n - 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, n, ok := h.SnapshotColumns(kinds); !ok || n != 1200 {
+		t.Fatalf("final snapshot = (%d, %v), want 1200 rows", n, ok)
+	}
+}
+
+// TestSnapshotColumnsInvalidatedByFailedDelete: DeleteWhere compacts the
+// row slice in place before it can fail, so even an error return must
+// invalidate the cached columnar snapshot.
+func TestSnapshotColumnsInvalidatedByFailedDelete(t *testing.T) {
+	h := NewHeap(1)
+	kinds := []types.Kind{types.KindInt}
+	for _, v := range []int64{5, 100, 0} {
+		if err := h.Insert(row(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cols, _, ok := h.SnapshotColumns(kinds)
+	if !ok {
+		t.Fatal("snapshot failed")
+	}
+	calls := 0
+	_, err := h.DeleteWhere(func(r types.Row) (bool, error) {
+		calls++
+		if r[0].I == 0 {
+			return false, fmt.Errorf("boom")
+		}
+		return r[0].I == 5, nil
+	})
+	if err == nil {
+		t.Fatal("DeleteWhere must propagate the predicate error")
+	}
+	cols2, n, ok := h.SnapshotColumns(kinds)
+	if !ok || cols2[0] == cols[0] {
+		t.Fatal("failed DeleteWhere must invalidate the cached snapshot")
+	}
+	// The refreshed snapshot must reflect whatever the heap now stores.
+	rows := h.Snapshot()
+	if n != len(rows) {
+		t.Fatalf("snapshot rows %d != heap rows %d", n, len(rows))
+	}
+	for i, r := range rows {
+		if cols2[0].Value(i).I != r[0].I {
+			t.Fatalf("row %d: snapshot %v != heap %v (predicate ran %d times)", i, cols2[0].Value(i), r[0], calls)
+		}
 	}
 }

@@ -1,0 +1,325 @@
+// Package vector defines the columnar data representation of the Perm
+// engine's vectorized execution path (package vexec): typed column
+// vectors with null bitmaps, and fixed-capacity row batches with
+// selection vectors. Converting a heap of boxed types.Value rows into
+// this layout once per snapshot lets the batch operators run tight,
+// monomorphic loops over unboxed Go slices.
+package vector
+
+import (
+	"perm/internal/types"
+)
+
+// BatchSize is the number of rows processed per operator invocation. It
+// is a multiple of 64 so batch windows cut null bitmaps at word
+// boundaries.
+const BatchSize = 1024
+
+// Bitmap is a bit-per-row mask (1 = set). Bit i of word i/64 is row i.
+type Bitmap []uint64
+
+// NewBitmap returns a zeroed bitmap covering n rows.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Get reports whether bit i is set.
+func (b Bitmap) Get(i int) bool {
+	if len(b) == 0 {
+		return false
+	}
+	return b[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// AnySet reports whether any of the first n bits is set.
+func (b Bitmap) AnySet(n int) bool {
+	full := n >> 6
+	for w := 0; w < full; w++ {
+		if b[w] != 0 {
+			return true
+		}
+	}
+	if rest := n & 63; rest > 0 && full < len(b) {
+		if b[full]&(1<<uint(rest)-1) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Supported reports whether a column of kind k can be stored in a Vec.
+// Interval columns and untyped-NULL columns stay on the row engine.
+func Supported(k types.Kind) bool {
+	switch k {
+	case types.KindBool, types.KindInt, types.KindFloat, types.KindString, types.KindDate:
+		return true
+	default:
+		return false
+	}
+}
+
+// Vec is a typed column vector. Exactly one payload slice (selected by
+// Kind) is populated; Nulls marks NULL rows (payload at null positions is
+// unspecified). Date values live in I as days since the epoch, exactly
+// like types.Value.
+type Vec struct {
+	Kind  types.Kind
+	Nulls Bitmap
+	I     []int64
+	F     []float64
+	B     []bool
+	S     []string
+}
+
+// NewVec returns a vector of kind k with capacity for n rows, all
+// initially non-NULL zero values.
+func NewVec(k types.Kind, n int) *Vec {
+	v := &Vec{Kind: k, Nulls: NewBitmap(n)}
+	switch k {
+	case types.KindBool:
+		v.B = make([]bool, n)
+	case types.KindInt, types.KindDate:
+		v.I = make([]int64, n)
+	case types.KindFloat:
+		v.F = make([]float64, n)
+	case types.KindString:
+		v.S = make([]string, n)
+	}
+	return v
+}
+
+// Len returns the number of rows in the vector.
+func (v *Vec) Len() int {
+	switch v.Kind {
+	case types.KindBool:
+		return len(v.B)
+	case types.KindInt, types.KindDate:
+		return len(v.I)
+	case types.KindFloat:
+		return len(v.F)
+	case types.KindString:
+		return len(v.S)
+	default:
+		return len(v.Nulls) * 64
+	}
+}
+
+// IsNull reports whether row i is NULL.
+func (v *Vec) IsNull(i int) bool { return v.Nulls.Get(i) }
+
+// SetNull marks row i NULL.
+func (v *Vec) SetNull(i int) { v.Nulls.Set(i) }
+
+// Set stores a types.Value at row i. The value must be NULL or of the
+// vector's kind (numeric values are coerced across int/float).
+func (v *Vec) Set(i int, val types.Value) {
+	if val.Null {
+		v.Nulls.Set(i)
+		return
+	}
+	v.Nulls.Clear(i)
+	switch v.Kind {
+	case types.KindBool:
+		v.B[i] = val.B
+	case types.KindInt, types.KindDate:
+		if val.K == types.KindFloat {
+			v.I[i] = int64(val.F)
+		} else {
+			v.I[i] = val.I
+		}
+	case types.KindFloat:
+		v.F[i] = val.AsFloat()
+	case types.KindString:
+		v.S[i] = val.S
+	}
+}
+
+// Value boxes row i back into a types.Value (the batch→row boundary).
+func (v *Vec) Value(i int) types.Value {
+	if v.Nulls.Get(i) {
+		return types.NewNull(v.Kind)
+	}
+	switch v.Kind {
+	case types.KindBool:
+		return types.NewBool(v.B[i])
+	case types.KindInt:
+		return types.NewInt(v.I[i])
+	case types.KindDate:
+		return types.NewDate(v.I[i])
+	case types.KindFloat:
+		return types.NewFloat(v.F[i])
+	case types.KindString:
+		return types.NewString(v.S[i])
+	default:
+		return types.NewNull(v.Kind)
+	}
+}
+
+// AppendFrom appends row i of src (which must have the same kind) to the
+// end of the vector, growing it by one row. Use NewVec(kind, 0) to start
+// an appendable vector.
+func (v *Vec) AppendFrom(src *Vec, i int) {
+	n := v.Len()
+	switch v.Kind {
+	case types.KindBool:
+		v.B = append(v.B, src.B[i])
+	case types.KindInt, types.KindDate:
+		v.I = append(v.I, src.I[i])
+	case types.KindFloat:
+		v.F = append(v.F, src.F[i])
+	case types.KindString:
+		v.S = append(v.S, src.S[i])
+	}
+	if n>>6 >= len(v.Nulls) {
+		v.Nulls = append(v.Nulls, 0)
+	}
+	if src.Nulls.Get(i) {
+		v.Nulls.Set(n)
+	}
+}
+
+// CopyLanes copies the src rows listed in lanes into this vector
+// starting at position at (which must leave room for len(lanes) rows).
+// Kinds must match.
+func (v *Vec) CopyLanes(at int, src *Vec, lanes []int) {
+	switch v.Kind {
+	case types.KindBool:
+		for o, i := range lanes {
+			v.B[at+o] = src.B[i]
+		}
+	case types.KindInt, types.KindDate:
+		for o, i := range lanes {
+			v.I[at+o] = src.I[i]
+		}
+	case types.KindFloat:
+		for o, i := range lanes {
+			v.F[at+o] = src.F[i]
+		}
+	case types.KindString:
+		for o, i := range lanes {
+			v.S[at+o] = src.S[i]
+		}
+	}
+	for o, i := range lanes {
+		if src.Nulls.Get(i) {
+			v.Nulls.Set(at + o)
+		}
+	}
+}
+
+// Gather copies the src rows at the given indices into a fresh vector
+// of kind k (src's kind, or a compatible one for all-NULL gathers). A
+// negative index produces a NULL row (outer-join null extension).
+func Gather(src *Vec, idx []int32, k types.Kind) *Vec {
+	out := NewVec(k, len(idx))
+	for o, i := range idx {
+		if i < 0 || src.Nulls.Get(int(i)) {
+			out.Nulls.Set(o)
+			continue
+		}
+		switch k {
+		case types.KindBool:
+			out.B[o] = src.B[i]
+		case types.KindInt, types.KindDate:
+			out.I[o] = src.I[i]
+		case types.KindFloat:
+			out.F[o] = src.F[i]
+		case types.KindString:
+			out.S[o] = src.S[i]
+		}
+	}
+	return out
+}
+
+// Window returns a view of rows [lo, hi) sharing the vector's backing
+// arrays. lo must be a multiple of 64 so the null bitmap slices cleanly;
+// batch windows at BatchSize boundaries always satisfy this.
+func (v *Vec) Window(lo, hi int) *Vec {
+	if lo&63 != 0 {
+		panic("vector: window start must be a multiple of 64")
+	}
+	w := &Vec{Kind: v.Kind}
+	wordLo := lo >> 6
+	wordHi := (hi + 63) >> 6
+	if wordHi > len(v.Nulls) {
+		wordHi = len(v.Nulls)
+	}
+	if wordLo < wordHi {
+		w.Nulls = v.Nulls[wordLo:wordHi]
+	}
+	switch v.Kind {
+	case types.KindBool:
+		w.B = v.B[lo:hi]
+	case types.KindInt, types.KindDate:
+		w.I = v.I[lo:hi]
+	case types.KindFloat:
+		w.F = v.F[lo:hi]
+	case types.KindString:
+		w.S = v.S[lo:hi]
+	}
+	return w
+}
+
+// FromRows pivots rows into column vectors of the given kinds. It
+// returns ok=false when some non-NULL value does not fit its declared
+// column kind (the caller then falls back to row execution).
+func FromRows(rows []types.Row, kinds []types.Kind) (cols []*Vec, ok bool) {
+	cols = make([]*Vec, len(kinds))
+	for j, k := range kinds {
+		if !Supported(k) {
+			return nil, false
+		}
+		cols[j] = NewVec(k, len(rows))
+	}
+	for i, r := range rows {
+		if len(r) != len(kinds) {
+			return nil, false
+		}
+		for j, val := range r {
+			if !val.Null && !kindFits(val.K, kinds[j]) {
+				return nil, false
+			}
+			cols[j].Set(i, val)
+		}
+	}
+	return cols, true
+}
+
+// kindFits reports whether a value of kind k can be stored losslessly in
+// a column declared as kind col.
+func kindFits(k, col types.Kind) bool {
+	if k == col {
+		return true
+	}
+	return k == types.KindInt && col == types.KindFloat
+}
+
+// Batch is a horizontal slice of rows in columnar form. Sel, when
+// non-nil, lists the live row positions in increasing order (a selection
+// vector); nil means all N rows are live.
+type Batch struct {
+	N    int
+	Cols []*Vec
+	Sel  []int
+}
+
+// Live returns the number of live rows.
+func (b *Batch) Live() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// Row boxes physical row i into a types.Row.
+func (b *Batch) Row(i int) types.Row {
+	r := make(types.Row, len(b.Cols))
+	for j, c := range b.Cols {
+		r[j] = c.Value(i)
+	}
+	return r
+}

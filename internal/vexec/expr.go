@@ -1,0 +1,785 @@
+// Vectorized expression compilation. The compiler covers the common
+// arithmetic/comparison/boolean shapes the provenance-rewritten workloads
+// consist of; anything else (CASE, casts, function calls, sublinks,
+// interval arithmetic, untyped NULLs) returns an error and the planner
+// falls back to the row engine for that plan subtree.
+package vexec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"perm/internal/algebra"
+	"perm/internal/eval"
+	"perm/internal/types"
+	"perm/internal/vector"
+)
+
+// VarBinder resolves a column reference to its flat position in the
+// batch (the same position the row engine would use in a types.Row).
+type VarBinder func(v *algebra.Var) (int, error)
+
+// exprFn evaluates an expression over the physical batch rows listed in
+// sel (nil = all rows 0..b.N-1). The result vector is defined at exactly
+// those positions; other lanes hold unspecified values.
+type exprFn func(b *vector.Batch, sel []int) (*vector.Vec, error)
+
+// Expr is a compiled vectorized expression with its static result kind.
+type Expr struct {
+	fn   exprFn
+	kind types.Kind
+}
+
+// Kind returns the static result kind of the expression.
+func (e *Expr) Kind() types.Kind { return e.kind }
+
+var errUnsupported = fmt.Errorf("vexec: expression shape not vectorizable")
+
+// identitySel is the shared all-rows selection 0..BatchSize-1 (read-only).
+var identitySel = func() []int {
+	s := make([]int, vector.BatchSize)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}()
+
+// resolveSel turns a nil selection into an explicit one. Batches never
+// exceed BatchSize rows, so the shared identity prefix always suffices.
+func resolveSel(b *vector.Batch, sel []int) []int {
+	if sel != nil {
+		return sel
+	}
+	return identitySel[:b.N]
+}
+
+// CompileExpr compiles an analyzed expression for vectorized evaluation.
+// An error means the shape is not supported and the caller must stay on
+// the row engine.
+func CompileExpr(e algebra.Expr, bind VarBinder) (*Expr, error) {
+	switch n := e.(type) {
+	case *algebra.Var:
+		return compileVar(n, bind)
+	case *algebra.Const:
+		return compileConst(n)
+	case *algebra.BinOp:
+		return compileBinOp(n, bind)
+	case *algebra.UnOp:
+		return compileUnOp(n, bind)
+	case *algebra.IsNull:
+		return compileIsNull(n, bind)
+	case *algebra.DistinctFrom:
+		return compileDistinctFrom(n, bind)
+	default:
+		return nil, errUnsupported
+	}
+}
+
+// CompileExprs compiles a slice of expressions; it fails if any one of
+// them is unsupported.
+func CompileExprs(es []algebra.Expr, bind VarBinder) ([]*Expr, error) {
+	out := make([]*Expr, len(es))
+	for i, e := range es {
+		c, err := CompileExpr(e, bind)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+func compileVar(n *algebra.Var, bind VarBinder) (*Expr, error) {
+	if !vector.Supported(n.Typ) {
+		return nil, errUnsupported
+	}
+	pos, err := bind(n)
+	if err != nil {
+		return nil, err
+	}
+	kind := n.Typ
+	fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+		if pos >= len(b.Cols) {
+			return nil, fmt.Errorf("vexec: batch too narrow (%d <= %d)", len(b.Cols), pos)
+		}
+		return b.Cols[pos], nil
+	}
+	return &Expr{fn: fn, kind: kind}, nil
+}
+
+func compileConst(n *algebra.Const) (*Expr, error) {
+	val := n.Val
+	if !vector.Supported(val.K) {
+		return nil, errUnsupported
+	}
+	var cache *vector.Vec
+	fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+		if cache == nil || cache.Len() < b.N {
+			cache = broadcast(val, b.N)
+		}
+		return cache, nil
+	}
+	return &Expr{fn: fn, kind: val.K}, nil
+}
+
+// broadcast fills a fresh vector of n copies of val without per-lane
+// boxing.
+func broadcast(val types.Value, n int) *vector.Vec {
+	v := vector.NewVec(val.K, n)
+	if val.Null {
+		for w := range v.Nulls {
+			v.Nulls[w] = ^uint64(0)
+		}
+		return v
+	}
+	switch val.K {
+	case types.KindBool:
+		for i := range v.B {
+			v.B[i] = val.B
+		}
+	case types.KindInt, types.KindDate:
+		for i := range v.I {
+			v.I[i] = val.I
+		}
+	case types.KindFloat:
+		for i := range v.F {
+			v.F[i] = val.F
+		}
+	case types.KindString:
+		for i := range v.S {
+			v.S[i] = val.S
+		}
+	}
+	return v
+}
+
+// numAt reads a numeric lane as float64 (operand kind is int or float).
+func numAt(v *vector.Vec, i int) float64 {
+	if v.Kind == types.KindFloat {
+		return v.F[i]
+	}
+	return float64(v.I[i])
+}
+
+// cmpOp encodes a comparison operator for branch-light inner loops.
+type cmpOp uint8
+
+const (
+	cmpEQ cmpOp = iota
+	cmpNE
+	cmpLT
+	cmpLE
+	cmpGT
+	cmpGE
+)
+
+func cmpOpOf(op string) (cmpOp, bool) {
+	switch op {
+	case "=":
+		return cmpEQ, true
+	case "<>":
+		return cmpNE, true
+	case "<":
+		return cmpLT, true
+	case "<=":
+		return cmpLE, true
+	case ">":
+		return cmpGT, true
+	case ">=":
+		return cmpGE, true
+	default:
+		return 0, false
+	}
+}
+
+func cmpOK(c int, op cmpOp) bool {
+	switch op {
+	case cmpEQ:
+		return c == 0
+	case cmpNE:
+		return c != 0
+	case cmpLT:
+		return c < 0
+	case cmpLE:
+		return c <= 0
+	case cmpGT:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// cmpClass describes how two operand kinds compare lane-wise.
+type cmpClass uint8
+
+const (
+	classNone  cmpClass = iota
+	classInt            // both int, or both date (compare I)
+	classFloat          // numeric pair with at least one float
+	classString
+	classBool
+)
+
+func classify(a, b types.Kind) cmpClass {
+	switch {
+	case a == types.KindInt && b == types.KindInt,
+		a == types.KindDate && b == types.KindDate:
+		return classInt
+	case a.Numeric() && b.Numeric():
+		return classFloat
+	case a == types.KindString && b == types.KindString:
+		return classString
+	case a == types.KindBool && b == types.KindBool:
+		return classBool
+	default:
+		return classNone
+	}
+}
+
+// laneCompare orders two non-NULL lanes of a classified kind pair.
+func laneCompare(class cmpClass, l *vector.Vec, li int, r *vector.Vec, ri int) int {
+	switch class {
+	case classInt:
+		a, b := l.I[li], r.I[ri]
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case classFloat:
+		a, b := numAt(l, li), numAt(r, ri)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case classString:
+		return strings.Compare(l.S[li], r.S[ri])
+	default: // classBool
+		a, b := l.B[li], r.B[ri]
+		switch {
+		case a == b:
+			return 0
+		case b:
+			return -1
+		}
+		return 1
+	}
+}
+
+// foldConst evaluates constant-only arithmetic subtrees (notably the
+// date ± interval bounds every TPC-H range predicate carries) with the
+// row engine's own value operations, so the enclosing comparison can
+// still vectorize. Errors (e.g. a constant division by zero) leave the
+// tree unfolded; the runtime kernels then raise the same error the row
+// engine would.
+func foldConst(e algebra.Expr) (types.Value, bool) {
+	switch n := e.(type) {
+	case *algebra.Const:
+		return n.Val, true
+	case *algebra.UnOp:
+		if n.Op != "-" {
+			return types.NullValue, false
+		}
+		v, ok := foldConst(n.Expr)
+		if !ok {
+			return types.NullValue, false
+		}
+		out, err := types.Neg(v)
+		return out, err == nil
+	case *algebra.BinOp:
+		l, ok := foldConst(n.Left)
+		if !ok {
+			return types.NullValue, false
+		}
+		r, ok := foldConst(n.Right)
+		if !ok {
+			return types.NullValue, false
+		}
+		var out types.Value
+		var err error
+		switch n.Op {
+		case "+":
+			out, err = types.Add(l, r)
+		case "-":
+			out, err = types.Sub(l, r)
+		case "*":
+			out, err = types.Mul(l, r)
+		case "/":
+			out, err = types.Div(l, r)
+		case "%":
+			out, err = types.Mod(l, r)
+		default:
+			return types.NullValue, false
+		}
+		return out, err == nil
+	default:
+		return types.NullValue, false
+	}
+}
+
+func compileBinOp(n *algebra.BinOp, bind VarBinder) (*Expr, error) {
+	if v, ok := foldConst(n); ok && vector.Supported(v.K) && v.K == n.Typ {
+		return compileConst(&algebra.Const{Val: v})
+	}
+	switch n.Op {
+	case "AND", "OR":
+		return compileLogic(n, bind)
+	}
+	l, err := CompileExpr(n.Left, bind)
+	if err != nil {
+		return nil, err
+	}
+	r, err := CompileExpr(n.Right, bind)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return compileCompare(n, l, r)
+	case "LIKE":
+		return compileLike(n, l, r)
+	case "+", "-", "*", "/", "%":
+		return compileArith(n, l, r)
+	default:
+		return nil, errUnsupported
+	}
+}
+
+func compileCompare(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
+	if n.Typ != types.KindBool {
+		return nil, errUnsupported
+	}
+	op, ok := cmpOpOf(n.Op)
+	if !ok {
+		return nil, errUnsupported
+	}
+	class := classify(l.kind, r.kind)
+	if class == classNone {
+		return nil, errUnsupported
+	}
+	fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+		sel = resolveSel(b, sel)
+		lv, err := l.fn(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := r.fn(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		out := vector.NewVec(types.KindBool, b.N)
+		if !lv.Nulls.AnySet(b.N) && !rv.Nulls.AnySet(b.N) {
+			// Null-free fast path: no per-lane bitmap checks.
+			if class == classInt {
+				li, ri := lv.I, rv.I
+				for _, i := range sel {
+					out.B[i] = cmpOK(cmpI(li[i], ri[i]), op)
+				}
+				return out, nil
+			}
+			for _, i := range sel {
+				out.B[i] = cmpOK(laneCompare(class, lv, i, rv, i), op)
+			}
+			return out, nil
+		}
+		for _, i := range sel {
+			if lv.Nulls.Get(i) || rv.Nulls.Get(i) {
+				out.Nulls.Set(i)
+				continue
+			}
+			out.B[i] = cmpOK(laneCompare(class, lv, i, rv, i), op)
+		}
+		return out, nil
+	}
+	return &Expr{fn: fn, kind: types.KindBool}, nil
+}
+
+func cmpI(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compileLike(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
+	if n.Typ != types.KindBool || l.kind != types.KindString || r.kind != types.KindString {
+		return nil, errUnsupported
+	}
+	fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+		sel = resolveSel(b, sel)
+		lv, err := l.fn(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := r.fn(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		out := vector.NewVec(types.KindBool, b.N)
+		for _, i := range sel {
+			if lv.Nulls.Get(i) || rv.Nulls.Get(i) {
+				out.Nulls.Set(i)
+				continue
+			}
+			out.B[i] = eval.MatchLike(lv.S[i], rv.S[i])
+		}
+		return out, nil
+	}
+	return &Expr{fn: fn, kind: types.KindBool}, nil
+}
+
+func compileArith(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
+	op := n.Op
+	if l.kind == types.KindInt && r.kind == types.KindInt {
+		// Integer arithmetic (division truncates, / and % error on zero).
+		if n.Typ != types.KindInt {
+			return nil, errUnsupported
+		}
+		fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+			sel = resolveSel(b, sel)
+			lv, err := l.fn(b, sel)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := r.fn(b, sel)
+			if err != nil {
+				return nil, err
+			}
+			out := vector.NewVec(types.KindInt, b.N)
+			skipNulls := !lv.Nulls.AnySet(b.N) && !rv.Nulls.AnySet(b.N)
+			for _, i := range sel {
+				if !skipNulls && (lv.Nulls.Get(i) || rv.Nulls.Get(i)) {
+					out.Nulls.Set(i)
+					continue
+				}
+				a, c := lv.I[i], rv.I[i]
+				switch op {
+				case "+":
+					out.I[i] = a + c
+				case "-":
+					out.I[i] = a - c
+				case "*":
+					out.I[i] = a * c
+				default: // "/", "%"
+					if c == 0 {
+						return nil, fmt.Errorf("division by zero")
+					}
+					if op == "/" {
+						out.I[i] = a / c
+					} else {
+						out.I[i] = a % c
+					}
+				}
+			}
+			return out, nil
+		}
+		return &Expr{fn: fn, kind: types.KindInt}, nil
+	}
+	if l.kind.Numeric() && r.kind.Numeric() && op != "%" {
+		if n.Typ != types.KindFloat {
+			return nil, errUnsupported
+		}
+		fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+			sel = resolveSel(b, sel)
+			lv, err := l.fn(b, sel)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := r.fn(b, sel)
+			if err != nil {
+				return nil, err
+			}
+			out := vector.NewVec(types.KindFloat, b.N)
+			skipNulls := !lv.Nulls.AnySet(b.N) && !rv.Nulls.AnySet(b.N)
+			for _, i := range sel {
+				if !skipNulls && (lv.Nulls.Get(i) || rv.Nulls.Get(i)) {
+					out.Nulls.Set(i)
+					continue
+				}
+				a, c := numAt(lv, i), numAt(rv, i)
+				switch op {
+				case "+":
+					out.F[i] = a + c
+				case "-":
+					out.F[i] = a - c
+				case "*":
+					out.F[i] = a * c
+				default: // "/"
+					if c == 0 {
+						return nil, fmt.Errorf("division by zero")
+					}
+					out.F[i] = a / c
+				}
+			}
+			return out, nil
+		}
+		return &Expr{fn: fn, kind: types.KindFloat}, nil
+	}
+	return nil, errUnsupported
+}
+
+// compileLogic implements three-valued AND/OR with the row engine's
+// short-circuit behaviour: the right operand is only evaluated on lanes
+// the left operand does not already decide (so e.g. a division guarded
+// by an AND never runs on the guarded-out lanes).
+func compileLogic(n *algebra.BinOp, bind VarBinder) (*Expr, error) {
+	l, err := CompileExpr(n.Left, bind)
+	if err != nil {
+		return nil, err
+	}
+	r, err := CompileExpr(n.Right, bind)
+	if err != nil {
+		return nil, err
+	}
+	if n.Typ != types.KindBool || l.kind != types.KindBool || r.kind != types.KindBool {
+		return nil, errUnsupported
+	}
+	isAnd := n.Op == "AND"
+	fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+		sel = resolveSel(b, sel)
+		lv, err := l.fn(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		// Lanes the left side does not decide.
+		sub := make([]int, 0, len(sel))
+		for _, i := range sel {
+			decided := !lv.Nulls.Get(i) && (lv.B[i] != isAnd)
+			if !decided {
+				sub = append(sub, i)
+			}
+		}
+		var rv *vector.Vec
+		if len(sub) > 0 {
+			rv, err = r.fn(b, sub)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out := vector.NewVec(types.KindBool, b.N)
+		for _, i := range sel {
+			ln := lv.Nulls.Get(i)
+			if !ln && lv.B[i] != isAnd {
+				out.B[i] = !isAnd // left decided: AND→false, OR→true
+				continue
+			}
+			rn := rv.Nulls.Get(i)
+			if !rn && rv.B[i] != isAnd {
+				out.B[i] = !isAnd
+				continue
+			}
+			if ln || rn {
+				out.Nulls.Set(i)
+				continue
+			}
+			out.B[i] = isAnd // both undecided and non-null: AND→true, OR→false
+		}
+		return out, nil
+	}
+	return &Expr{fn: fn, kind: types.KindBool}, nil
+}
+
+func compileUnOp(n *algebra.UnOp, bind VarBinder) (*Expr, error) {
+	if v, ok := foldConst(n); ok && vector.Supported(v.K) && v.K == n.Typ {
+		return compileConst(&algebra.Const{Val: v})
+	}
+	inner, err := CompileExpr(n.Expr, bind)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case "NOT":
+		if inner.kind != types.KindBool {
+			return nil, errUnsupported
+		}
+		fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+			sel = resolveSel(b, sel)
+			v, err := inner.fn(b, sel)
+			if err != nil {
+				return nil, err
+			}
+			out := vector.NewVec(types.KindBool, b.N)
+			for _, i := range sel {
+				if v.Nulls.Get(i) {
+					out.Nulls.Set(i)
+					continue
+				}
+				out.B[i] = !v.B[i]
+			}
+			return out, nil
+		}
+		return &Expr{fn: fn, kind: types.KindBool}, nil
+	case "-":
+		switch inner.kind {
+		case types.KindInt, types.KindFloat:
+		default:
+			return nil, errUnsupported
+		}
+		if n.Typ != inner.kind {
+			return nil, errUnsupported
+		}
+		kind := inner.kind
+		fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+			sel = resolveSel(b, sel)
+			v, err := inner.fn(b, sel)
+			if err != nil {
+				return nil, err
+			}
+			out := vector.NewVec(kind, b.N)
+			for _, i := range sel {
+				if v.Nulls.Get(i) {
+					out.Nulls.Set(i)
+					continue
+				}
+				if kind == types.KindInt {
+					out.I[i] = -v.I[i]
+				} else {
+					out.F[i] = -v.F[i]
+				}
+			}
+			return out, nil
+		}
+		return &Expr{fn: fn, kind: kind}, nil
+	default:
+		return nil, errUnsupported
+	}
+}
+
+func compileIsNull(n *algebra.IsNull, bind VarBinder) (*Expr, error) {
+	inner, err := CompileExpr(n.Expr, bind)
+	if err != nil {
+		return nil, err
+	}
+	not := n.Not
+	fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+		sel = resolveSel(b, sel)
+		v, err := inner.fn(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		out := vector.NewVec(types.KindBool, b.N)
+		for _, i := range sel {
+			out.B[i] = v.Nulls.Get(i) != not
+		}
+		return out, nil
+	}
+	return &Expr{fn: fn, kind: types.KindBool}, nil
+}
+
+func compileDistinctFrom(n *algebra.DistinctFrom, bind VarBinder) (*Expr, error) {
+	l, err := CompileExpr(n.Left, bind)
+	if err != nil {
+		return nil, err
+	}
+	r, err := CompileExpr(n.Right, bind)
+	if err != nil {
+		return nil, err
+	}
+	class := classify(l.kind, r.kind)
+	if class == classNone {
+		return nil, errUnsupported
+	}
+	not := n.Not
+	fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+		sel = resolveSel(b, sel)
+		lv, err := l.fn(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := r.fn(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		out := vector.NewVec(types.KindBool, b.N)
+		for _, i := range sel {
+			ln, rn := lv.Nulls.Get(i), rv.Nulls.Get(i)
+			var distinct bool
+			switch {
+			case ln && rn:
+				distinct = false
+			case ln != rn:
+				distinct = true
+			default:
+				distinct = laneCompare(class, lv, i, rv, i) != 0
+			}
+			out.B[i] = distinct != not
+		}
+		return out, nil
+	}
+	return &Expr{fn: fn, kind: types.KindBool}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Lane hashing and equality (hash join, hash aggregation)
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashLane mixes one key lane into h. Numeric lanes hash by their
+// float64 value so int and float keys that compare equal hash equal;
+// NULL lanes hash to a sentinel (grouping and null-safe joins treat
+// NULLs as equal).
+func hashLane(h uint64, v *vector.Vec, i int) uint64 {
+	if v.Nulls.Get(i) {
+		return (h ^ 0xff) * fnvPrime64
+	}
+	switch v.Kind {
+	case types.KindBool:
+		h = (h ^ 1) * fnvPrime64
+		if v.B[i] {
+			h = (h ^ 1) * fnvPrime64
+		} else {
+			h = (h ^ 2) * fnvPrime64
+		}
+	case types.KindInt, types.KindFloat:
+		h = (h ^ 2) * fnvPrime64
+		h = (h ^ math.Float64bits(numAt(v, i))) * fnvPrime64
+	case types.KindString:
+		h = (h ^ 3) * fnvPrime64
+		s := v.S[i]
+		for j := 0; j < len(s); j++ {
+			h = (h ^ uint64(s[j])) * fnvPrime64
+		}
+	case types.KindDate:
+		h = (h ^ 4) * fnvPrime64
+		h = (h ^ uint64(v.I[i])) * fnvPrime64
+	default:
+		h = (h ^ 0xfe) * fnvPrime64
+	}
+	return h
+}
+
+// hashLanes hashes one row of key vectors.
+func hashLanes(keys []*vector.Vec, i int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, kv := range keys {
+		h = hashLane(h, kv, i)
+	}
+	return h
+}
+
+// lanesEqualNullSafe compares key lane a[i] with b[j] treating NULLs as
+// equal (grouping / IS NOT DISTINCT FROM semantics). Kind pairs outside
+// the comparable classes never match.
+func lanesEqualNullSafe(a *vector.Vec, i int, b *vector.Vec, j int) bool {
+	an, bn := a.Nulls.Get(i), b.Nulls.Get(j)
+	if an || bn {
+		return an && bn
+	}
+	class := classify(a.Kind, b.Kind)
+	if class == classNone {
+		return false
+	}
+	return laneCompare(class, a, i, b, j) == 0
+}

@@ -1,0 +1,755 @@
+// Package vexec implements the batch-at-a-time (vectorized) physical
+// operators of the Perm engine: columnar scans over heap column
+// snapshots, filters driven by selection vectors, projections over
+// vectorized expressions, hash joins (inner and left outer, with the
+// null-safe key variant the provenance join-back conditions require) and
+// hash aggregation. The planner lowers a plan subtree to these operators
+// when every operator and expression in it is supported, and bridges
+// back to the row-at-a-time engine (package exec) through RowSource
+// wherever it is not.
+package vexec
+
+import (
+	"perm/internal/algebra"
+	"perm/internal/types"
+	"perm/internal/vector"
+)
+
+// Node is a batch iterator. Next returns (nil, nil) at end of stream.
+// Returned batches are immutable: their vectors are never written again,
+// so consumers may retain batches (the hash join keeps build-side
+// batches until its table is assembled).
+type Node interface {
+	Open() error
+	Next() (*vector.Batch, error)
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// ColScan
+
+// ColScan iterates a columnar snapshot of a base table in BatchSize
+// windows. The column vectors are shared, read-only, across queries.
+type ColScan struct {
+	Cols    []*vector.Vec
+	NumRows int
+	pos     int
+}
+
+// NewColScan returns a columnar scan over n rows.
+func NewColScan(cols []*vector.Vec, n int) *ColScan {
+	return &ColScan{Cols: cols, NumRows: n}
+}
+
+func (s *ColScan) Open() error { s.pos = 0; return nil }
+
+func (s *ColScan) Next() (*vector.Batch, error) {
+	if s.pos >= s.NumRows {
+		return nil, nil
+	}
+	hi := s.pos + vector.BatchSize
+	if hi > s.NumRows {
+		hi = s.NumRows
+	}
+	cols := make([]*vector.Vec, len(s.Cols))
+	for j, c := range s.Cols {
+		cols[j] = c.Window(s.pos, hi)
+	}
+	b := &vector.Batch{N: hi - s.pos, Cols: cols}
+	s.pos = hi
+	return b, nil
+}
+
+func (s *ColScan) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Filter
+
+// Filter narrows each batch's selection vector to the rows where the
+// predicate is TRUE; batches with no surviving rows are skipped.
+type Filter struct {
+	Input Node
+	Pred  *Expr
+}
+
+// NewFilter returns a vectorized filter. Pred must have kind bool.
+func NewFilter(input Node, pred *Expr) *Filter {
+	return &Filter{Input: input, Pred: pred}
+}
+
+func (f *Filter) Open() error { return f.Input.Open() }
+
+func (f *Filter) Next() (*vector.Batch, error) {
+	for {
+		b, err := f.Input.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		pv, err := f.Pred.fn(b, b.Sel)
+		if err != nil {
+			return nil, err
+		}
+		sel := resolveSel(b, b.Sel)
+		out := make([]int, 0, len(sel))
+		if !pv.Nulls.AnySet(b.N) {
+			for _, i := range sel {
+				if pv.B[i] {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if !pv.Nulls.Get(i) && pv.B[i] {
+					out = append(out, i)
+				}
+			}
+		}
+		if len(out) == 0 {
+			continue
+		}
+		return &vector.Batch{N: b.N, Cols: b.Cols, Sel: out}, nil
+	}
+}
+
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// ---------------------------------------------------------------------------
+// Project
+
+// Project computes output expressions per batch, passing the selection
+// vector through unchanged.
+type Project struct {
+	Input Node
+	Exprs []*Expr
+}
+
+// NewProject returns a vectorized projection.
+func NewProject(input Node, exprs []*Expr) *Project {
+	return &Project{Input: input, Exprs: exprs}
+}
+
+func (p *Project) Open() error { return p.Input.Open() }
+
+func (p *Project) Next() (*vector.Batch, error) {
+	b, err := p.Input.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	cols := make([]*vector.Vec, len(p.Exprs))
+	for j, e := range p.Exprs {
+		v, err := e.fn(b, b.Sel)
+		if err != nil {
+			return nil, err
+		}
+		cols[j] = v
+	}
+	return &vector.Batch{N: b.N, Cols: cols, Sel: b.Sel}, nil
+}
+
+func (p *Project) Close() error { return p.Input.Close() }
+
+// ---------------------------------------------------------------------------
+// Hash join
+
+// JoinType enumerates the join types the vectorized hash join supports.
+// Right and full outer joins stay on the row engine.
+type JoinType uint8
+
+// Vectorized join types.
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+)
+
+// HashJoin is a vectorized equi-join; the right input is the build side.
+// NullSafe marks keys compared with IS NOT DISTINCT FROM semantics.
+// Residual conditions are handled by the planner as a Filter above an
+// inner join; left joins with residuals fall back to the row engine.
+type HashJoin struct {
+	Left, Right Node
+	LeftKeys    []*Expr
+	RightKeys   []*Expr
+	NullSafe    []bool
+	Type        JoinType
+	LeftKinds   []types.Kind
+	RightKinds  []types.Kind
+
+	buildCols  []*vector.Vec
+	buildKeys  []*vector.Vec
+	heads      map[uint64]int32 // key hash → first build row of the chain
+	next       []int32          // per-build-row chain link (-1 ends a chain)
+	neverMatch bool
+
+	curBatch   *vector.Batch
+	outL, outR []int32 // pending (probe lane, build row) pairs; build -1 = null-extend
+	outPos     int
+}
+
+// NewHashJoin returns a vectorized hash join node.
+func NewHashJoin(left, right Node, leftKeys, rightKeys []*Expr, nullSafe []bool,
+	jt JoinType, leftKinds, rightKinds []types.Kind) *HashJoin {
+	return &HashJoin{
+		Left: left, Right: right,
+		LeftKeys: leftKeys, RightKeys: rightKeys, NullSafe: nullSafe,
+		Type: jt, LeftKinds: leftKinds, RightKinds: rightKinds,
+	}
+}
+
+func (j *HashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	// A non-null-safe key pair outside the comparable classes can never
+	// match (the row engine's Equal would reject it too). Null-safe keys
+	// are exempt: NULL IS NOT DISTINCT FROM NULL matches regardless of
+	// the declared kinds, and non-NULL incomparable lanes already land in
+	// different hash buckets.
+	j.neverMatch = false
+	for k := range j.LeftKeys {
+		if !j.NullSafe[k] && classify(j.LeftKeys[k].Kind(), j.RightKeys[k].Kind()) == classNone {
+			j.neverMatch = true
+		}
+	}
+	// Build side, pass 1: drain the right input, evaluate the key
+	// expressions per batch and keep the lanes whose non-null-safe keys
+	// are all non-NULL (a NULL there matches nothing; left-join null
+	// extension only depends on the probe side).
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	type buildChunk struct {
+		batch *vector.Batch
+		keys  []*vector.Vec
+		lanes []int
+	}
+	var chunks []buildChunk
+	total := 0
+	for {
+		b, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		keys := make([]*vector.Vec, len(j.RightKeys))
+		for k, ke := range j.RightKeys {
+			kv, err := ke.fn(b, b.Sel)
+			if err != nil {
+				return err
+			}
+			keys[k] = kv
+		}
+		sel := resolveSel(b, b.Sel)
+		lanes := make([]int, 0, len(sel))
+		for _, i := range sel {
+			keep := true
+			for k := range keys {
+				if !j.NullSafe[k] && keys[k].Nulls.Get(i) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				lanes = append(lanes, i)
+			}
+		}
+		if len(lanes) > 0 {
+			chunks = append(chunks, buildChunk{batch: b, keys: keys, lanes: lanes})
+			total += len(lanes)
+		}
+	}
+	if err := j.Right.Close(); err != nil {
+		return err
+	}
+
+	// Pass 2: compact the kept rows and their keys into exact-size build
+	// columns and assemble the chained hash table. Chains are threaded in
+	// reverse so probing visits build rows in input order, like the row
+	// engine's bucket order.
+	j.buildCols = make([]*vector.Vec, len(j.RightKinds))
+	for c, k := range j.RightKinds {
+		j.buildCols[c] = vector.NewVec(k, total)
+	}
+	j.buildKeys = make([]*vector.Vec, len(j.RightKeys))
+	for k, ke := range j.RightKeys {
+		j.buildKeys[k] = vector.NewVec(ke.Kind(), total)
+	}
+	hashes := make([]uint64, total)
+	row := 0
+	for _, ch := range chunks {
+		for c, col := range ch.batch.Cols {
+			j.buildCols[c].CopyLanes(row, col, ch.lanes)
+		}
+		for k, kv := range ch.keys {
+			j.buildKeys[k].CopyLanes(row, kv, ch.lanes)
+		}
+		for _, i := range ch.lanes {
+			hashes[row] = hashLanes(ch.keys, i)
+			row++
+		}
+	}
+	j.heads = make(map[uint64]int32, total)
+	j.next = make([]int32, total)
+	for r := total - 1; r >= 0; r-- {
+		if head, ok := j.heads[hashes[r]]; ok {
+			j.next[r] = head
+		} else {
+			j.next[r] = -1
+		}
+		j.heads[hashes[r]] = int32(r)
+	}
+	j.curBatch = nil
+	j.outL, j.outR = j.outL[:0], j.outR[:0]
+	j.outPos = 0
+	return nil
+}
+
+// keysMatch compares probe lane pi against build row bi.
+func (j *HashJoin) keysMatch(probe []*vector.Vec, pi int, bi int) bool {
+	for k := range probe {
+		pv, bv := probe[k], j.buildKeys[k]
+		pn, bn := pv.Nulls.Get(pi), bv.Nulls.Get(bi)
+		if j.NullSafe[k] {
+			if pn || bn {
+				if pn && bn {
+					continue
+				}
+				return false
+			}
+		} else if pn || bn {
+			return false
+		}
+		if !lanesEqualNullSafe(pv, pi, bv, bi) {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *HashJoin) Next() (*vector.Batch, error) {
+	for {
+		if j.outPos < len(j.outL) {
+			return j.emit(), nil
+		}
+		b, err := j.Left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		keys := make([]*vector.Vec, len(j.LeftKeys))
+		for k, ke := range j.LeftKeys {
+			kv, err := ke.fn(b, b.Sel)
+			if err != nil {
+				return nil, err
+			}
+			keys[k] = kv
+		}
+		j.outL, j.outR = j.outL[:0], j.outR[:0]
+		j.outPos = 0
+		for _, i := range resolveSel(b, b.Sel) {
+			matched := false
+			nullKey := false
+			for k := range keys {
+				if !j.NullSafe[k] && keys[k].Nulls.Get(i) {
+					nullKey = true
+					break
+				}
+			}
+			if !nullKey && !j.neverMatch {
+				h := hashLanes(keys, i)
+				if head, ok := j.heads[h]; ok {
+					for bi := head; bi >= 0; bi = j.next[bi] {
+						if j.keysMatch(keys, i, int(bi)) {
+							j.outL = append(j.outL, int32(i))
+							j.outR = append(j.outR, bi)
+							matched = true
+						}
+					}
+				}
+			}
+			if !matched && j.Type == LeftJoin {
+				j.outL = append(j.outL, int32(i))
+				j.outR = append(j.outR, -1)
+			}
+		}
+		j.curBatch = b
+	}
+}
+
+// emit returns the next chunk of pending join results as a batch.
+func (j *HashJoin) emit() *vector.Batch {
+	n := len(j.outL) - j.outPos
+	if n > vector.BatchSize {
+		n = vector.BatchSize
+	}
+	chunkL := j.outL[j.outPos : j.outPos+n]
+	chunkR := j.outR[j.outPos : j.outPos+n]
+	j.outPos += n
+	cols := make([]*vector.Vec, len(j.LeftKinds)+len(j.RightKinds))
+	for c, k := range j.LeftKinds {
+		cols[c] = vector.Gather(j.curBatch.Cols[c], chunkL, k)
+	}
+	off := len(j.LeftKinds)
+	for c, k := range j.RightKinds {
+		cols[off+c] = vector.Gather(j.buildCols[c], chunkR, k)
+	}
+	return &vector.Batch{N: n, Cols: cols}
+}
+
+func (j *HashJoin) Close() error {
+	err := j.Left.Close()
+	j.buildCols, j.buildKeys, j.heads, j.next = nil, nil, nil, nil
+	j.curBatch = nil
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Hash aggregation
+
+// AggSpec describes one aggregate to compute vectorized. Distinct
+// aggregates stay on the row engine.
+type AggSpec struct {
+	Fn         algebra.AggFn
+	Star       bool
+	Arg        *Expr // nil for COUNT(*)
+	ResultKind types.Kind
+}
+
+// HashAgg groups input rows by the group expressions and computes
+// aggregates per group; output rows are group values followed by
+// aggregate results, exactly like the row engine's HashAgg.
+type HashAgg struct {
+	Input  Node
+	Groups []*Expr
+	Aggs   []AggSpec
+
+	groupCols []*vector.Vec
+	numGroups int
+	table     map[uint64][]int32
+	accs      []aggAcc
+	resVecs   []*vector.Vec
+	outPos    int
+}
+
+// NewHashAgg returns a vectorized hash aggregation node.
+func NewHashAgg(input Node, groups []*Expr, aggs []AggSpec) *HashAgg {
+	return &HashAgg{Input: input, Groups: groups, Aggs: aggs}
+}
+
+// aggAcc holds the per-group accumulator state of one aggregate in
+// struct-of-arrays form.
+type aggAcc struct {
+	spec    AggSpec
+	argKind types.Kind
+	count   []int64
+	sumI    []int64
+	sumF    []float64
+	sawAny  []bool
+	mmSet   []bool
+	mI      []int64 // min/max payload for int/date/bool args
+	mF      []float64
+	mS      []string
+}
+
+func (a *aggAcc) addGroup() {
+	a.count = append(a.count, 0)
+	a.sumI = append(a.sumI, 0)
+	a.sumF = append(a.sumF, 0)
+	a.sawAny = append(a.sawAny, false)
+	a.mmSet = append(a.mmSet, false)
+	a.mI = append(a.mI, 0)
+	a.mF = append(a.mF, 0)
+	a.mS = append(a.mS, "")
+}
+
+// accumulate folds lane i of arg into group g, mirroring the row
+// engine's accumulate.
+func (a *aggAcc) accumulate(g int, arg *vector.Vec, i int) {
+	if a.spec.Star {
+		a.count[g]++
+		return
+	}
+	if arg.Nulls.Get(i) {
+		return
+	}
+	a.sawAny[g] = true
+	switch a.spec.Fn {
+	case algebra.AggCount:
+		a.count[g]++
+	case algebra.AggSum, algebra.AggAvg:
+		a.count[g]++
+		if a.argKind == types.KindInt {
+			a.sumI[g] += arg.I[i]
+			a.sumF[g] += float64(arg.I[i])
+		} else {
+			a.sumF[g] += arg.F[i]
+		}
+	case algebra.AggMin:
+		if !a.mmSet[g] || a.laneLess(arg, i, g) {
+			a.store(g, arg, i)
+		}
+	case algebra.AggMax:
+		if !a.mmSet[g] || a.laneGreater(arg, i, g) {
+			a.store(g, arg, i)
+		}
+	}
+}
+
+func (a *aggAcc) laneLess(arg *vector.Vec, i, g int) bool {
+	switch a.argKind {
+	case types.KindInt, types.KindDate:
+		return arg.I[i] < a.mI[g]
+	case types.KindFloat:
+		return arg.F[i] < a.mF[g]
+	case types.KindString:
+		return arg.S[i] < a.mS[g]
+	default: // bool: false < true
+		return !arg.B[i] && a.mI[g] != 0
+	}
+}
+
+func (a *aggAcc) laneGreater(arg *vector.Vec, i, g int) bool {
+	switch a.argKind {
+	case types.KindInt, types.KindDate:
+		return arg.I[i] > a.mI[g]
+	case types.KindFloat:
+		return arg.F[i] > a.mF[g]
+	case types.KindString:
+		return arg.S[i] > a.mS[g]
+	default:
+		return arg.B[i] && a.mI[g] == 0
+	}
+}
+
+func (a *aggAcc) store(g int, arg *vector.Vec, i int) {
+	a.mmSet[g] = true
+	switch a.argKind {
+	case types.KindInt, types.KindDate:
+		a.mI[g] = arg.I[i]
+	case types.KindFloat:
+		a.mF[g] = arg.F[i]
+	case types.KindString:
+		a.mS[g] = arg.S[i]
+	case types.KindBool:
+		if arg.B[i] {
+			a.mI[g] = 1
+		} else {
+			a.mI[g] = 0
+		}
+	}
+}
+
+// finalize boxes group g's result, mirroring the row engine's finalize.
+func (a *aggAcc) finalize(g int) types.Value {
+	switch a.spec.Fn {
+	case algebra.AggCount:
+		return types.NewInt(a.count[g])
+	case algebra.AggSum:
+		if !a.sawAny[g] {
+			return types.NewNull(a.spec.ResultKind)
+		}
+		if a.spec.ResultKind == types.KindInt {
+			return types.NewInt(a.sumI[g])
+		}
+		return types.NewFloat(a.sumF[g])
+	case algebra.AggAvg:
+		if !a.sawAny[g] || a.count[g] == 0 {
+			return types.NewNull(types.KindFloat)
+		}
+		return types.NewFloat(a.sumF[g] / float64(a.count[g]))
+	case algebra.AggMin, algebra.AggMax:
+		if !a.sawAny[g] {
+			return types.NewNull(a.spec.ResultKind)
+		}
+		switch a.argKind {
+		case types.KindInt:
+			return types.NewInt(a.mI[g])
+		case types.KindDate:
+			return types.NewDate(a.mI[g])
+		case types.KindFloat:
+			return types.NewFloat(a.mF[g])
+		case types.KindString:
+			return types.NewString(a.mS[g])
+		default:
+			return types.NewBool(a.mI[g] != 0)
+		}
+	default:
+		return types.NullValue
+	}
+}
+
+func (h *HashAgg) Open() error {
+	if err := h.Input.Open(); err != nil {
+		return err
+	}
+	defer h.Input.Close()
+	h.groupCols = make([]*vector.Vec, len(h.Groups))
+	for g, ge := range h.Groups {
+		h.groupCols[g] = vector.NewVec(ge.Kind(), 0)
+	}
+	h.table = make(map[uint64][]int32)
+	h.numGroups = 0
+	h.accs = make([]aggAcc, len(h.Aggs))
+	for ai := range h.Aggs {
+		h.accs[ai].spec = h.Aggs[ai]
+		if h.Aggs[ai].Arg != nil {
+			h.accs[ai].argKind = h.Aggs[ai].Arg.Kind()
+		}
+	}
+	for {
+		b, err := h.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		keys := make([]*vector.Vec, len(h.Groups))
+		for g, ge := range h.Groups {
+			kv, err := ge.fn(b, b.Sel)
+			if err != nil {
+				return err
+			}
+			keys[g] = kv
+		}
+		args := make([]*vector.Vec, len(h.Aggs))
+		for ai, spec := range h.Aggs {
+			if spec.Arg != nil {
+				av, err := spec.Arg.fn(b, b.Sel)
+				if err != nil {
+					return err
+				}
+				args[ai] = av
+			}
+		}
+		for _, i := range resolveSel(b, b.Sel) {
+			hv := hashLanes(keys, i)
+			g := -1
+			for _, gi := range h.table[hv] {
+				if h.groupMatches(keys, i, int(gi)) {
+					g = int(gi)
+					break
+				}
+			}
+			if g < 0 {
+				g = h.numGroups
+				h.numGroups++
+				h.table[hv] = append(h.table[hv], int32(g))
+				for k, kv := range keys {
+					h.groupCols[k].AppendFrom(kv, i)
+				}
+				for ai := range h.accs {
+					h.accs[ai].addGroup()
+				}
+			}
+			for ai := range h.accs {
+				h.accs[ai].accumulate(g, args[ai], i)
+			}
+		}
+	}
+	// Global aggregate over empty input: one row of defaults.
+	if h.numGroups == 0 && len(h.Groups) == 0 {
+		h.numGroups = 1
+		for ai := range h.accs {
+			h.accs[ai].addGroup()
+		}
+	}
+	// Finalize aggregate result columns up front; output windows slice them.
+	h.resVecs = make([]*vector.Vec, len(h.Aggs))
+	for ai := range h.accs {
+		out := vector.NewVec(h.Aggs[ai].ResultKind, h.numGroups)
+		for g := 0; g < h.numGroups; g++ {
+			out.Set(g, h.accs[ai].finalize(g))
+		}
+		h.resVecs[ai] = out
+	}
+	h.outPos = 0
+	return nil
+}
+
+func (h *HashAgg) groupMatches(keys []*vector.Vec, i int, g int) bool {
+	for k := range keys {
+		if !lanesEqualNullSafe(keys[k], i, h.groupCols[k], g) {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *HashAgg) Next() (*vector.Batch, error) {
+	if h.outPos >= h.numGroups {
+		return nil, nil
+	}
+	hi := h.outPos + vector.BatchSize
+	if hi > h.numGroups {
+		hi = h.numGroups
+	}
+	cols := make([]*vector.Vec, 0, len(h.groupCols)+len(h.resVecs))
+	for _, gc := range h.groupCols {
+		cols = append(cols, gc.Window(h.outPos, hi))
+	}
+	for _, rv := range h.resVecs {
+		cols = append(cols, rv.Window(h.outPos, hi))
+	}
+	b := &vector.Batch{N: hi - h.outPos, Cols: cols}
+	h.outPos = hi
+	return b, nil
+}
+
+func (h *HashAgg) Close() error {
+	h.groupCols, h.resVecs, h.accs, h.table = nil, nil, nil, nil
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Batch→row adapter
+
+// RowSource adapts a vectorized subtree to the row engine's volcano
+// interface (it structurally satisfies exec.Node), boxing each live
+// batch row back into a types.Row. This is the per-subtree fallback
+// boundary: row-only operators (sorts, set ops, right/full joins,
+// unsupported expressions) consume vectorized children through it.
+type RowSource struct {
+	Input Node
+	batch *vector.Batch
+	idx   int
+}
+
+// NewRowSource returns a batch→row adapter over a vectorized subtree.
+func NewRowSource(input Node) *RowSource { return &RowSource{Input: input} }
+
+// Open opens the vectorized subtree.
+func (r *RowSource) Open() error {
+	r.batch, r.idx = nil, 0
+	return r.Input.Open()
+}
+
+// Next returns the next live row, pulling a new batch when the current
+// one is exhausted.
+func (r *RowSource) Next() (types.Row, error) {
+	for {
+		if r.batch != nil && r.idx < r.batch.Live() {
+			lane := r.idx
+			if r.batch.Sel != nil {
+				lane = r.batch.Sel[r.idx]
+			}
+			r.idx++
+			return r.batch.Row(lane), nil
+		}
+		b, err := r.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			r.batch = nil
+			return nil, nil
+		}
+		r.batch, r.idx = b, 0
+	}
+}
+
+// Close closes the vectorized subtree.
+func (r *RowSource) Close() error { return r.Input.Close() }

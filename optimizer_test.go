@@ -223,10 +223,11 @@ func TestOptimizerGoldenExplain(t *testing.T) {
 			name:  "flattened-spj-provenance",
 			query: `SELECT PROVENANCE x.n, y.b FROM (SELECT n FROM nums) AS x, (SELECT a, b FROM pairs) AS y WHERE x.n = y.a`,
 			want: strings.Join([]string{
-				"Project (6 cols)",
-				"  HashJoin (inner, 1 keys)",
-				"    Scan (5 rows)",
-				"    Scan (4 rows)",
+				"BatchToRow",
+				"  VecProject (6 cols)",
+				"    VecHashJoin (inner, 1 keys)",
+				"      VecScan (5 rows)",
+				"      VecScan (4 rows)",
 				"",
 			}, "\n"),
 		},
@@ -234,12 +235,13 @@ func TestOptimizerGoldenExplain(t *testing.T) {
 			name:  "flattened-aggregation-provenance",
 			query: `SELECT PROVENANCE b, count(*) AS c FROM r GROUP BY b`,
 			want: strings.Join([]string{
-				"Project (4 cols)",
-				"  HashJoin (inner, 1 keys)",
-				"    Project (2 cols)",
-				"      HashAggregate (1 groups, 1 aggs)",
-				"        Scan (4 rows)",
-				"    Scan (4 rows)",
+				"BatchToRow",
+				"  VecProject (4 cols)",
+				"    VecHashJoin (inner, 1 keys)",
+				"      VecProject (2 cols)",
+				"        VecHashAggregate (1 groups, 1 aggs)",
+				"          VecScan (4 rows)",
+				"      VecScan (4 rows)",
 				"",
 			}, "\n"),
 		},
@@ -247,9 +249,10 @@ func TestOptimizerGoldenExplain(t *testing.T) {
 			name:  "view-unfolding-flattened",
 			query: `SELECT v.a FROM ryview AS v WHERE v.a > 1`,
 			want: strings.Join([]string{
-				"Project (1 cols)",
-				"  Filter",
-				"    Scan (4 rows)",
+				"BatchToRow",
+				"  VecProject (1 cols)",
+				"    VecFilter",
+				"      VecScan (4 rows)",
 				"",
 			}, "\n"),
 		},

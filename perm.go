@@ -59,6 +59,13 @@ type Options struct {
 	// optimizer is semantics-preserving; the switch exists as an escape
 	// hatch and for A/B measurement.
 	DisableOptimizer bool
+
+	// DisableVectorized turns off the vectorized (batch-at-a-time)
+	// execution engine; every plan then runs on the row-at-a-time volcano
+	// operators. Vectorization is semantics-preserving — plan subtrees it
+	// cannot handle fall back to the row engine automatically — so the
+	// switch exists as an escape hatch and for A/B measurement.
+	DisableVectorized bool
 }
 
 // NewDatabase returns an empty database with default options.
@@ -259,11 +266,16 @@ func (db *Database) ExplainSQL(text string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	node, err := plan.New(db.cat).Plan(q)
+	node, err := db.planner().Plan(q)
 	if err != nil {
 		return "", err
 	}
 	return plan.Explain(node), nil
+}
+
+// planner returns a planner configured from the database options.
+func (db *Database) planner() *plan.Planner {
+	return plan.New(db.cat).SetVectorized(!db.opts.DisableVectorized)
 }
 
 // Catalog introspection.
@@ -383,7 +395,7 @@ func (db *Database) run(stmt sql.Statement, text string) (int, *Result, error) {
 			if rerr != nil {
 				return 0, nil, rerr
 			}
-			node, perr := plan.New(db.cat).Plan(q)
+			node, perr := db.planner().Plan(q)
 			if perr != nil {
 				return 0, nil, perr
 			}
@@ -406,7 +418,7 @@ func (db *Database) runSelect(sel *sql.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	node, err := plan.New(db.cat).Plan(q)
+	node, err := db.planner().Plan(q)
 	if err != nil {
 		return nil, err
 	}
@@ -646,8 +658,7 @@ func (b *deleteBinder) BindVar(v *algebra.Var) (int, error) {
 }
 
 func (b *deleteBinder) BindSubLink(s *algebra.SubLink) (eval.SubLinkValue, error) {
-	pl := plan.New(b.db.cat)
-	return plan.NewSubLinkValue(pl, s)
+	return plan.NewSubLinkValue(b.db.planner(), s)
 }
 
 // InsertRows bulk-loads pre-built rows into a base table, bypassing SQL
