@@ -5,6 +5,12 @@
 //	EXPLAIN REWRITE SELECT PROVENANCE ...;   -- show the rewritten query q+
 //	EXPLAIN SELECT ...;                      -- show the physical plan
 //
+// plus the query-service dialect (PREPARE name AS ..., EXECUTE name,
+// DEALLOCATE name, SET option = on|off).
+//
+// With -remote ADDR the shell connects to a permd server instead of
+// embedding an engine; statements then execute in a server-side session.
+//
 // Meta commands: \d (list tables/views), \tpch SF (load TPC-H data),
 // \i FILE (run a script), \q (quit).
 package main
@@ -19,24 +25,79 @@ import (
 	"time"
 
 	"perm"
+	"perm/internal/session"
 	"perm/internal/tpch"
+	"perm/permclient"
 )
+
+// runner executes one statement and returns its result (queries), rows
+// affected (DML) or a completion tag (everything else).
+type runner func(text string) (res *perm.Result, affected int, tag string, err error)
 
 func main() {
 	var (
 		script  = flag.String("f", "", "execute a SQL script file and exit")
+		remote  = flag.String("remote", "", "connect to a permd server at this address instead of embedding an engine")
 		loadSF  = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor")
 		flatten = flag.Bool("flatten-setops", false, "use the Fig. 6(3a) set-operation rewrite variant")
 		noOpt   = flag.Bool("no-optimizer", false, "disable the logical optimizer (flattening/pruning of rewritten queries)")
 		noVec   = flag.Bool("no-vectorized", false, "disable the vectorized execution engine (run everything row-at-a-time)")
+		noCache = flag.Bool("no-query-cache", false, "disable the shared compiled-query cache")
 		timing  = flag.Bool("timing", true, "print execution times")
 	)
 	flag.Parse()
 
-	db := perm.NewDatabaseWithOptions(perm.Options{FlattenSetOps: *flatten, DisableOptimizer: *noOpt, DisableVectorized: *noVec})
-	if *loadSF > 0 {
-		fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)
-		tpch.MustLoad(db, *loadSF, 42)
+	var run runner
+	var db *perm.Database // nil in remote mode
+	if *remote != "" {
+		if *loadSF > 0 {
+			fmt.Fprintln(os.Stderr, "-tpch loads into an embedded engine; start permd with -tpch instead")
+			os.Exit(1)
+		}
+		client, err := permclient.Dial(*remote)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer client.Close() //nolint:errcheck
+		// Engine option flags apply to this connection's server-side
+		// session, forwarded as SET statements.
+		for opt, on := range map[string]bool{
+			"flatten_setops":      *flatten,
+			"disable_optimizer":   *noOpt,
+			"disable_vectorized":  *noVec,
+			"disable_query_cache": *noCache,
+		} {
+			if on {
+				if err := client.Set(opt, "on"); err != nil {
+					fmt.Fprintf(os.Stderr, "SET %s: %v\n", opt, err)
+					os.Exit(1)
+				}
+			}
+		}
+		run = func(text string) (*perm.Result, int, string, error) {
+			res, n, err := client.Exec(strings.TrimSuffix(strings.TrimSpace(text), ";"))
+			return res, n, "OK", err
+		}
+	} else {
+		db = perm.NewDatabaseWithOptions(perm.Options{
+			FlattenSetOps:     *flatten,
+			DisableOptimizer:  *noOpt,
+			DisableVectorized: *noVec,
+			DisableQueryCache: *noCache,
+		})
+		if *loadSF > 0 {
+			fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)
+			tpch.MustLoad(db, *loadSF, 42)
+		}
+		sess := session.New(db)
+		run = func(text string) (*perm.Result, int, string, error) {
+			out, err := sess.Run(text)
+			if err != nil {
+				return nil, 0, "", err
+			}
+			return out.Result, out.Affected, out.Tag, nil
+		}
 	}
 
 	if *script != "" {
@@ -45,7 +106,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := runStatement(db, string(data), *timing); err != nil {
+		if err := runStatement(run, string(data), *timing); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -65,7 +126,7 @@ func main() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if done := metaCommand(db, trimmed, *timing); done {
+			if done := metaCommand(db, run, trimmed, *timing); done {
 				return
 			}
 			continue
@@ -76,7 +137,7 @@ func main() {
 			stmt := buf.String()
 			buf.Reset()
 			prompt = "perm> "
-			if err := runStatement(db, stmt, *timing); err != nil {
+			if err := runStatement(run, stmt, *timing); err != nil {
 				fmt.Println("ERROR:", err)
 			}
 			continue
@@ -87,12 +148,17 @@ func main() {
 	}
 }
 
-// metaCommand handles backslash commands; returns true to quit.
-func metaCommand(db *perm.Database, cmd string, timing bool) bool {
+// metaCommand handles backslash commands; returns true to quit. db is
+// nil in remote mode, where engine-side meta commands are unavailable.
+func metaCommand(db *perm.Database, run runner, cmd string, timing bool) bool {
 	switch {
 	case cmd == "\\q":
 		return true
 	case cmd == "\\d":
+		if db == nil {
+			fmt.Println("\\d is not available in remote mode")
+			return false
+		}
 		fmt.Println("Tables:")
 		for _, t := range db.Tables() {
 			n, _ := db.TableRowCount(t)
@@ -103,6 +169,10 @@ func metaCommand(db *perm.Database, cmd string, timing bool) bool {
 			fmt.Printf("  %s\n", v)
 		}
 	case strings.HasPrefix(cmd, "\\tpch"):
+		if db == nil {
+			fmt.Println("\\tpch is not available in remote mode (start permd with -tpch)")
+			return false
+		}
 		arg := strings.TrimSpace(strings.TrimPrefix(cmd, "\\tpch"))
 		sf, err := strconv.ParseFloat(arg, 64)
 		if err != nil || sf <= 0 {
@@ -122,7 +192,7 @@ func metaCommand(db *perm.Database, cmd string, timing bool) bool {
 			fmt.Println("ERROR:", err)
 			return false
 		}
-		if err := runStatement(db, string(data), timing); err != nil {
+		if err := runStatement(run, string(data), timing); err != nil {
 			fmt.Println("ERROR:", err)
 		}
 	default:
@@ -132,35 +202,30 @@ func metaCommand(db *perm.Database, cmd string, timing bool) bool {
 }
 
 // runStatement executes one or more statements, printing query results.
-func runStatement(db *perm.Database, text string, timing bool) error {
+func runStatement(run runner, text string, timing bool) error {
 	trimmed := strings.TrimSpace(text)
 	if trimmed == "" {
 		return nil
 	}
 	start := time.Now()
-	upper := strings.ToUpper(trimmed)
-	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") ||
-		strings.HasPrefix(upper, "(") {
-		res, err := db.Query(strings.TrimSuffix(trimmed, ";"))
-		if err != nil {
-			return err
-		}
+	res, affected, tag, err := run(trimmed)
+	if err != nil {
+		return err
+	}
+	switch {
+	case res != nil:
 		fmt.Print(res)
 		fmt.Printf("(%d rows", len(res.Rows))
 		if n := res.NumProvColumns(); n > 0 {
 			fmt.Printf(", %d provenance columns", n)
 		}
 		fmt.Print(")\n")
-	} else {
-		n, err := db.Exec(trimmed)
-		if err != nil {
-			return err
-		}
-		if n > 0 {
-			fmt.Printf("%d rows affected\n", n)
-		} else {
-			fmt.Println("ok")
-		}
+	case affected > 0:
+		fmt.Printf("%d rows affected\n", affected)
+	case tag != "" && tag != "OK":
+		fmt.Println(tag)
+	default:
+		fmt.Println("ok")
 	}
 	if timing {
 		fmt.Printf("time: %.4fs\n", time.Since(start).Seconds())

@@ -1,0 +1,91 @@
+// Command permd serves a Perm database over TCP, speaking the
+// length-prefixed wire protocol of perm/internal/wire (length-prefixed
+// JSON frames; ops QUERY / EXEC / PREPARE / EXECUTE / EXPLAIN / SET /
+// PING). Every connection gets its own session (options, prepared
+// statements); all sessions share the catalog, the data and the
+// compiled-query cache. A worker pool bounds how many statements execute
+// concurrently; SIGINT/SIGTERM trigger a graceful drain.
+//
+//	permd -addr :5433 -workers 8 -tpch 0.01
+//	permd -init schema.sql
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"perm"
+	"perm/internal/server"
+	"perm/internal/tpch"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:5433", "listen address")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing statements")
+		loadSF  = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor")
+		initSQL = flag.String("init", "", "run a SQL script before serving")
+		flatten = flag.Bool("flatten-setops", false, "use the Fig. 6(3a) set-operation rewrite variant")
+		noOpt   = flag.Bool("no-optimizer", false, "disable the logical optimizer")
+		noVec   = flag.Bool("no-vectorized", false, "disable the vectorized execution engine")
+		noCache = flag.Bool("no-query-cache", false, "disable the shared compiled-query cache")
+		cacheN  = flag.Int("query-cache-size", 0, "compiled-query cache capacity (0 = default 256)")
+		grace   = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	db := perm.NewDatabaseWithOptions(perm.Options{
+		FlattenSetOps:     *flatten,
+		DisableOptimizer:  *noOpt,
+		DisableVectorized: *noVec,
+		DisableQueryCache: *noCache,
+		QueryCacheSize:    *cacheN,
+	})
+	if *loadSF > 0 {
+		fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)
+		tpch.MustLoad(db, *loadSF, 42)
+	}
+	if *initSQL != "" {
+		data, err := os.ReadFile(*initSQL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if _, err := db.Exec(string(data)); err != nil {
+			fmt.Fprintf(os.Stderr, "init script: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := server.New(db, *workers)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Fprintf(os.Stderr, "permd listening on %s (%d workers)\n", *addr, srv.Workers())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "received %s, draining ...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		st := db.QueryCacheStats()
+		fmt.Fprintf(os.Stderr, "bye (query cache: %d hits, %d misses, %d invalidations)\n",
+			st.Hits, st.Misses, st.Invalidations)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"perm/internal/sql"
 	"perm/internal/storage"
@@ -46,11 +47,30 @@ type View struct {
 
 // Catalog is the collection of schema objects. It is safe for concurrent
 // readers; DDL takes the write lock.
+//
+// The catalog carries a monotonic version counter: every DDL statement
+// bumps it internally, and the engine bumps it (via Bump) after DML.
+// Compiled-query caches and prepared statements tag their artifacts with
+// the version they were compiled under and recompile when it has moved,
+// so no cached plan can outlive the schema (or, conservatively, the
+// data) it was compiled against.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	views  map[string]*View
+	version atomic.Uint64
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	views   map[string]*View
 }
+
+// Version returns the current catalog version. It is safe to call
+// concurrently with DDL; a reader that compiles against version v and
+// later observes Version() != v must discard the compiled artifact.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// Bump advances the catalog version. DDL methods bump internally; the
+// engine calls Bump after DML so data changes also invalidate
+// version-tagged artifacts (conservative, but keeps cached plans from
+// ever observing a world they were not compiled in).
+func (c *Catalog) Bump() { c.version.Add(1) }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -86,6 +106,7 @@ func (c *Catalog) CreateTable(name string, cols []Column, ifNotExists bool) (*Ta
 	}
 	t := &Table{Name: name, Cols: cols, Heap: storage.NewHeap(len(cols))}
 	c.tables[name] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -100,6 +121,7 @@ func (c *Catalog) CreateView(name string, q *sql.SelectStmt, text string, orRepl
 		return fmt.Errorf("view %q already exists", name)
 	}
 	c.views[name] = &View{Name: name, Query: q, Text: text}
+	c.version.Add(1)
 	return nil
 }
 
@@ -115,6 +137,7 @@ func (c *Catalog) Drop(name string, view, ifExists bool) error {
 			return fmt.Errorf("view %q does not exist", name)
 		}
 		delete(c.views, name)
+		c.version.Add(1)
 		return nil
 	}
 	if _, ok := c.tables[name]; !ok {
@@ -124,6 +147,7 @@ func (c *Catalog) Drop(name string, view, ifExists bool) error {
 		return fmt.Errorf("table %q does not exist", name)
 	}
 	delete(c.tables, name)
+	c.version.Add(1)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -112,4 +113,69 @@ func TestConcurrentReaders(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestVersionBumpsOnDDL: every successful DDL statement must advance the
+// monotonic catalog version, and failed DDL must not.
+func TestVersionBumpsOnDDL(t *testing.T) {
+	c := New()
+	v0 := c.Version()
+	if _, err := c.CreateTable("t", []Column{intCol("a")}, false); err != nil {
+		t.Fatal(err)
+	}
+	v1 := c.Version()
+	if v1 <= v0 {
+		t.Fatalf("CREATE TABLE did not bump version: %d -> %d", v0, v1)
+	}
+	// Failed DDL (duplicate) leaves the version alone.
+	if _, err := c.CreateTable("t", []Column{intCol("a")}, false); err == nil {
+		t.Fatal("duplicate CREATE TABLE must fail")
+	}
+	if c.Version() != v1 {
+		t.Fatalf("failed DDL bumped version")
+	}
+	// IF NOT EXISTS no-op leaves the version alone.
+	if _, err := c.CreateTable("t", []Column{intCol("a")}, true); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() != v1 {
+		t.Fatalf("no-op CREATE TABLE IF NOT EXISTS bumped version")
+	}
+	if err := c.Drop("t", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() <= v1 {
+		t.Fatalf("DROP did not bump version")
+	}
+	v2 := c.Version()
+	c.Bump()
+	if c.Version() != v2+1 {
+		t.Fatalf("Bump did not advance version")
+	}
+}
+
+// TestVersionConcurrentDDL: concurrent DDL plus version/name readers must
+// be race-free, and the version must end up counting every successful DDL.
+func TestVersionConcurrentDDL(t *testing.T) {
+	c := New()
+	const perG = 50
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				name := fmt.Sprintf("t_%d_%d", g, i)
+				if _, err := c.CreateTable(name, []Column{intCol("a")}, false); err != nil {
+					t.Errorf("create %s: %v", name, err)
+				}
+				c.Version()
+				c.TableNames()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := c.Version(), uint64(4*perG); got != want {
+		t.Fatalf("version = %d, want %d", got, want)
+	}
 }

@@ -1,0 +1,247 @@
+// Package server implements the permd query service: a TCP server
+// speaking the length-prefixed wire protocol (package wire), with one
+// session per connection, a worker pool bounding concurrently executing
+// statements, and graceful shutdown.
+//
+// All connections share one *perm.Database — the same catalog, data and
+// compiled-query cache — so a statement compiled for one client is a
+// cache hit for every other client until DDL/DML moves the catalog
+// version. Session state (options, prepared statements) stays private to
+// each connection.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+
+	"perm"
+	"perm/internal/session"
+	"perm/internal/wire"
+)
+
+// Server serves the Perm wire protocol over TCP.
+type Server struct {
+	db  *perm.Database
+	sem chan struct{} // worker pool: bounds concurrently executing statements
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	connWg sync.WaitGroup // running connection handlers
+	reqWg  sync.WaitGroup // in-flight requests (for graceful drain)
+}
+
+// New returns a server over db. workers bounds how many statements
+// execute concurrently across all connections (<= 0: GOMAXPROCS).
+func New(db *perm.Database, workers int) *Server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		db:    db,
+		sem:   make(chan struct{}, workers),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Workers returns the worker-pool size.
+func (s *Server) Workers() int { return cap(s.sem) }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close() //nolint:errcheck
+		return errors.New("server is shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close() //nolint:errcheck
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connWg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown gracefully stops the server: it stops accepting, waits for
+// in-flight requests to finish (bounded by ctx), then closes every
+// connection and waits for the handlers to exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close() //nolint:errcheck
+	}
+
+	// Wait for in-flight requests (not idle connections) up to ctx.
+	drained := make(chan struct{})
+	go func() { s.reqWg.Wait(); close(drained) }()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Unblock idle (or overrunning) connection readers and collect the
+	// handlers.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close() //nolint:errcheck
+	}
+	s.mu.Unlock()
+	s.connWg.Wait()
+	return err
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWg.Done()
+	sess := session.New(s.db)
+	defer sess.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close() //nolint:errcheck
+	}()
+
+	for {
+		req, err := wire.ReadRequest(conn)
+		if err != nil {
+			return // client went away (or shutdown closed us)
+		}
+		// Register the request under the lock Shutdown uses to flip
+		// draining: either the Add lands before the drain wait starts
+		// (Shutdown waits for us), or we observe draining and drop the
+		// request unexecuted. Never both, never neither.
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		s.reqWg.Add(1)
+		s.mu.Unlock()
+		s.sem <- struct{}{} // acquire a worker slot
+		resp := s.dispatch(sess, req)
+		<-s.sem
+		// A response that cannot be encoded (unmarshalable values, frame
+		// too large) becomes an error response; only real I/O failures
+		// tear down the connection (and with it the session).
+		frame, err := wire.Encode(resp)
+		if err != nil {
+			frame, err = wire.Encode(wire.ErrorResponse(fmt.Errorf("cannot encode response: %v", err)))
+			if err != nil {
+				s.reqWg.Done()
+				return
+			}
+		}
+		_, err = conn.Write(frame)
+		s.reqWg.Done()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the connection's session.
+func (s *Server) dispatch(sess *session.Session, req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpPing:
+		return &wire.Response{OK: true}
+	case wire.OpQuery:
+		res, err := sess.Query(req.SQL)
+		if err != nil {
+			return wire.ErrorResponse(err)
+		}
+		return resultResponse(res)
+	case wire.OpExec:
+		out, err := sess.Run(req.SQL)
+		if err != nil {
+			return wire.ErrorResponse(err)
+		}
+		if out.Result != nil {
+			return resultResponse(out.Result)
+		}
+		return &wire.Response{OK: true, Affected: out.Affected}
+	case wire.OpPrepare:
+		if err := sess.Prepare(req.Name, req.SQL); err != nil {
+			return wire.ErrorResponse(err)
+		}
+		return &wire.Response{OK: true}
+	case wire.OpExecute:
+		res, err := sess.Execute(req.Name)
+		if err != nil {
+			return wire.ErrorResponse(err)
+		}
+		return resultResponse(res)
+	case wire.OpExplain:
+		plan, err := sess.Explain(req.SQL)
+		if err != nil {
+			return wire.ErrorResponse(err)
+		}
+		return &wire.Response{OK: true, Plan: plan}
+	case wire.OpSet:
+		if err := sess.SetOption(req.Name, req.SQL); err != nil {
+			return wire.ErrorResponse(err)
+		}
+		return &wire.Response{OK: true}
+	default:
+		return wire.ErrorResponse(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+func resultResponse(res *perm.Result) *wire.Response {
+	return &wire.Response{
+		OK:      true,
+		Columns: res.Columns,
+		Prov:    res.ProvColumns,
+		Rows:    res.RawRows(),
+	}
+}

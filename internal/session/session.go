@@ -1,0 +1,358 @@
+// Package session implements per-client session state for the Perm query
+// service: session-local options, named prepared statements, and portals
+// (open cursors). A session wraps a shared *perm.Database handle — all
+// sessions see the same catalog, data and compiled-query cache — while
+// keeping everything client-visible (options, prepared names, cursors)
+// private to the client.
+//
+// Besides the programmatic API, Run gives the service front-ends (permd,
+// permcli) a PostgreSQL-flavoured statement dialect on top of plain SQL:
+//
+//	PREPARE <name> AS <select>       compile once, execute by name
+//	EXECUTE <name>                   run a prepared statement
+//	DEALLOCATE [PREPARE] <name>      drop a prepared statement
+//	SET <option> = on|off            session options (see SetOption)
+//
+// A session is safe for concurrent use, but is designed for one client:
+// the server gives every connection its own session.
+package session
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"perm"
+)
+
+// Session is one client's state against a shared database.
+type Session struct {
+	mu       sync.Mutex
+	db       *perm.Database
+	prepared map[string]*perm.Prepared
+	portals  map[string]*perm.Cursor
+}
+
+// New returns a session over the database (inheriting its options).
+func New(db *perm.Database) *Session {
+	return &Session{
+		db:       db,
+		prepared: make(map[string]*perm.Prepared),
+		portals:  make(map[string]*perm.Cursor),
+	}
+}
+
+// DB returns the session's database handle (carrying the session's
+// current options).
+func (s *Session) DB() *perm.Database {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db
+}
+
+// Query runs a SELECT/EXPLAIN under the session's options.
+func (s *Session) Query(text string) (*perm.Result, error) {
+	return s.DB().Query(text)
+}
+
+// Exec runs DDL/DML under the session's options.
+func (s *Session) Exec(text string) (int, error) {
+	return s.DB().Exec(text)
+}
+
+// Explain returns the physical plan of a query as text.
+func (s *Session) Explain(text string) (string, error) {
+	return s.DB().ExplainSQL(text)
+}
+
+// Prepare compiles a SELECT under the given name. Re-preparing an
+// existing name replaces it (the old statement is deallocated), matching
+// the server protocol's idempotent PREPARE.
+func (s *Session) Prepare(name, text string) error {
+	if name == "" {
+		return fmt.Errorf("prepared statement needs a name")
+	}
+	p, err := s.DB().Prepare(text)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.prepared[name] = p
+	s.mu.Unlock()
+	return nil
+}
+
+// Execute runs a prepared statement by name.
+func (s *Session) Execute(name string) (*perm.Result, error) {
+	s.mu.Lock()
+	p, ok := s.prepared[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("prepared statement %q does not exist", name)
+	}
+	return p.Run()
+}
+
+// Deallocate drops a prepared statement.
+func (s *Session) Deallocate(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.prepared[name]; !ok {
+		return fmt.Errorf("prepared statement %q does not exist", name)
+	}
+	delete(s.prepared, name)
+	return nil
+}
+
+// Prepared returns the sorted names of the session's prepared statements.
+func (s *Session) Prepared() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.prepared))
+	for n := range s.prepared {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OpenPortal opens a named cursor over a prepared statement. The portal
+// reads the data snapshot taken now; concurrent DML does not move it.
+func (s *Session) OpenPortal(portal, stmt string) error {
+	if portal == "" {
+		return fmt.Errorf("portal needs a name")
+	}
+	s.mu.Lock()
+	p, ok := s.prepared[stmt]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("prepared statement %q does not exist", stmt)
+	}
+	if _, ok := s.portals[portal]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("portal %q is already open", portal)
+	}
+	s.mu.Unlock()
+	cur, err := p.Start()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.portals[portal]; ok {
+		cur.Close() //nolint:errcheck
+		return fmt.Errorf("portal %q is already open", portal)
+	}
+	s.portals[portal] = cur
+	return nil
+}
+
+// FetchPortal pulls up to max rows (max <= 0: all remaining) from an
+// open portal. Exhaustion returns an empty batch.
+func (s *Session) FetchPortal(portal string, max int) ([][]perm.Value, error) {
+	s.mu.Lock()
+	cur, ok := s.portals[portal]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("portal %q is not open", portal)
+	}
+	return cur.Fetch(max)
+}
+
+// PortalColumns returns the output column names of an open portal.
+func (s *Session) PortalColumns(portal string) ([]string, error) {
+	s.mu.Lock()
+	cur, ok := s.portals[portal]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("portal %q is not open", portal)
+	}
+	return cur.Columns(), nil
+}
+
+// ClosePortal closes and forgets a portal.
+func (s *Session) ClosePortal(portal string) error {
+	s.mu.Lock()
+	cur, ok := s.portals[portal]
+	delete(s.portals, portal)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("portal %q is not open", portal)
+	}
+	return cur.Close()
+}
+
+// Close releases every portal and prepared statement.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cur := range s.portals {
+		cur.Close() //nolint:errcheck
+	}
+	s.portals = make(map[string]*perm.Cursor)
+	s.prepared = make(map[string]*perm.Prepared)
+}
+
+// SetOption changes one session option. Supported names (value on/off,
+// true/false, 1/0): flatten_setops, disable_optimizer,
+// disable_vectorized, disable_query_cache. Prepared statements are
+// re-prepared under the new options so EXECUTE always honours the
+// session's current settings.
+func (s *Session) SetOption(name, value string) error {
+	on, err := parseBool(value)
+	if err != nil {
+		return err
+	}
+	// The whole read-modify-commit runs under the session lock (Prepare
+	// only touches shared engine state, never the session, so holding mu
+	// across it is safe): concurrent SetOption calls serialize instead of
+	// losing updates, and no Prepare can interleave between the option
+	// snapshot and the commit.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	opts := s.db.Opts()
+	switch strings.ToLower(name) {
+	case "flatten_setops":
+		opts.FlattenSetOps = on
+	case "disable_optimizer":
+		opts.DisableOptimizer = on
+	case "disable_vectorized":
+		opts.DisableVectorized = on
+	case "disable_query_cache":
+		opts.DisableQueryCache = on
+	default:
+		return fmt.Errorf("unknown option %q (have flatten_setops, disable_optimizer, disable_vectorized, disable_query_cache)", name)
+	}
+	db := s.db.WithOptions(opts)
+
+	// Re-prepare everything under the new options before committing the
+	// switch: a failure leaves both the options and the prepared
+	// statements exactly as they were.
+	reprepared := make(map[string]*perm.Prepared, len(s.prepared))
+	for n, p := range s.prepared {
+		np, err := db.Prepare(p.Text())
+		if err != nil {
+			return fmt.Errorf("re-preparing %q under new options: %v", n, err)
+		}
+		reprepared[n] = np
+	}
+	s.db = db
+	s.prepared = reprepared
+	return nil
+}
+
+func parseBool(v string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "on", "true", "1", "yes":
+		return true, nil
+	case "off", "false", "0", "no":
+		return false, nil
+	}
+	return false, fmt.Errorf("boolean option value must be on/off, got %q", v)
+}
+
+// Outcome is the result of Run: exactly one of Result (queries) or the
+// Tag/Affected pair (everything else) is meaningful.
+type Outcome struct {
+	Result   *perm.Result // non-nil for statements that return rows
+	Affected int          // rows affected (DML)
+	Tag      string       // completion tag, e.g. "PREPARE", "SET", "OK"
+}
+
+// Run executes one statement of the service dialect: PREPARE/EXECUTE/
+// DEALLOCATE/SET are handled by the session, SELECT/EXPLAIN run as
+// queries, and everything else goes through Exec. A trailing semicolon
+// is tolerated.
+func (s *Session) Run(text string) (*Outcome, error) {
+	stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(text), ";"))
+	if stmt == "" {
+		return &Outcome{Tag: "OK"}, nil
+	}
+	word, rest := splitWord(stmt)
+	switch strings.ToUpper(word) {
+	case "PREPARE":
+		name, rest := splitWord(rest)
+		as, body := splitWord(rest)
+		if name == "" || !strings.EqualFold(as, "AS") || strings.TrimSpace(body) == "" {
+			return nil, fmt.Errorf("usage: PREPARE <name> AS <select>")
+		}
+		if err := s.Prepare(name, strings.TrimSpace(body)); err != nil {
+			return nil, err
+		}
+		return &Outcome{Tag: "PREPARE"}, nil
+	case "EXECUTE":
+		name, extra := splitWord(rest)
+		if name == "" || strings.TrimSpace(extra) != "" {
+			return nil, fmt.Errorf("usage: EXECUTE <name>")
+		}
+		res, err := s.Execute(name)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Result: res}, nil
+	case "DEALLOCATE":
+		name, extra := splitWord(rest)
+		if strings.EqualFold(name, "PREPARE") {
+			name, extra = splitWord(extra)
+		}
+		if name == "" || strings.TrimSpace(extra) != "" {
+			return nil, fmt.Errorf("usage: DEALLOCATE [PREPARE] <name>")
+		}
+		if err := s.Deallocate(name); err != nil {
+			return nil, err
+		}
+		return &Outcome{Tag: "DEALLOCATE"}, nil
+	case "SET":
+		name, value, ok := splitSet(rest)
+		if !ok {
+			return nil, fmt.Errorf("usage: SET <option> = on|off")
+		}
+		if err := s.SetOption(name, value); err != nil {
+			return nil, err
+		}
+		return &Outcome{Tag: "SET"}, nil
+	case "SELECT", "EXPLAIN":
+		res, err := s.Query(stmt)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Result: res}, nil
+	default:
+		if strings.HasPrefix(stmt, "(") {
+			res, err := s.Query(stmt)
+			if err != nil {
+				return nil, err
+			}
+			return &Outcome{Result: res}, nil
+		}
+		n, err := s.Exec(stmt)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Affected: n, Tag: "OK"}, nil
+	}
+}
+
+// splitWord splits off the first whitespace-delimited word.
+func splitWord(s string) (word, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexFunc(s, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == '\r' })
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+// splitSet parses "name = value" or "name TO value".
+func splitSet(s string) (name, value string, ok bool) {
+	if i := strings.Index(s, "="); i >= 0 {
+		return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+	}
+	name, rest := splitWord(s)
+	to, value := splitWord(rest)
+	if strings.EqualFold(to, "TO") && name != "" && value != "" {
+		return name, value, true
+	}
+	return "", "", false
+}

@@ -6,18 +6,25 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"perm/internal/types"
 	"perm/internal/vector"
 )
 
 // Heap is an append-only (plus delete) row store.
+//
+// The mutation counter and the cached columnar snapshot are atomics so
+// that the read hot path — vectorized scans re-using an already-pivoted
+// snapshot — is contention-free across concurrent sessions: a hit costs
+// two atomic loads, no mutex. Writers still serialize on mu and
+// invalidate both atomics inside their critical section.
 type Heap struct {
 	mu      sync.RWMutex
 	width   int
 	rows    []types.Row
-	version uint64   // bumped on every mutation; invalidates colSnap
-	colSnap *colSnap // cached columnar snapshot for vectorized scans
+	version atomic.Uint64           // bumped on every mutation; invalidates colSnap
+	colSnap atomic.Pointer[colSnap] // cached columnar snapshot for vectorized scans
 }
 
 // colSnap caches the columnar pivot of the heap at one version so
@@ -44,7 +51,7 @@ func (h *Heap) Insert(r types.Row) error {
 	}
 	h.mu.Lock()
 	h.rows = append(h.rows, r)
-	h.version++
+	h.invalidateLocked()
 	h.mu.Unlock()
 	return nil
 }
@@ -58,10 +65,27 @@ func (h *Heap) InsertAll(rs []types.Row) error {
 	}
 	h.mu.Lock()
 	h.rows = append(h.rows, rs...)
-	h.version++
+	h.invalidateLocked()
 	h.mu.Unlock()
 	return nil
 }
+
+// invalidateLocked records a mutation: it advances the heap version and
+// drops the cached columnar snapshot in the same critical section, so no
+// reader that enters after the mutation commits can observe the stale
+// pivot (and the old vectors become collectable as soon as in-flight
+// queries holding them finish). The version is advanced first: a
+// lock-free reader that pairs the new version with the not-yet-cleared
+// snapshot sees a version mismatch and rebuilds. Callers must hold h.mu
+// for writing.
+func (h *Heap) invalidateLocked() {
+	h.version.Add(1)
+	h.colSnap.Store(nil)
+}
+
+// Version returns the heap's mutation counter. Two equal Version reads
+// with no interleaved mutation bracket an unchanged heap.
+func (h *Heap) Version() uint64 { return h.version.Load() }
 
 // Len returns the current row count.
 func (h *Heap) Len() int {
@@ -86,23 +110,27 @@ func (h *Heap) Snapshot() []types.Row {
 // ok is false when some column kind is not vectorizable or some stored
 // value does not fit its declared kind; callers then fall back to the
 // row snapshot.
+//
+// The hit path is lock-free: loading the version before the snapshot
+// pointer guarantees that a snapshot matching the loaded version is the
+// pivot of a state that was current at (or after) the version load, so a
+// reader can never observe a pivot older than a mutation that committed
+// before the call.
 func (h *Heap) SnapshotColumns(kinds []types.Kind) (cols []*vector.Vec, n int, ok bool) {
-	h.mu.RLock()
-	if s := h.colSnap; s != nil && s.version == h.version && kindsEqual(s.kinds, kinds) {
-		cols, n, ok = s.cols, s.n, s.ok
-		h.mu.RUnlock()
-		return cols, n, ok
+	v := h.version.Load()
+	if s := h.colSnap.Load(); s != nil && s.version == v && kindsEqual(s.kinds, kinds) {
+		return s.cols, s.n, s.ok
 	}
-	h.mu.RUnlock()
 
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if s := h.colSnap; s != nil && s.version == h.version && kindsEqual(s.kinds, kinds) {
+	v = h.version.Load() // stable: writers hold mu
+	if s := h.colSnap.Load(); s != nil && s.version == v && kindsEqual(s.kinds, kinds) {
 		return s.cols, s.n, s.ok
 	}
-	s := &colSnap{version: h.version, kinds: append([]types.Kind(nil), kinds...), n: len(h.rows)}
+	s := &colSnap{version: v, kinds: append([]types.Kind(nil), kinds...), n: len(h.rows)}
 	s.cols, s.ok = vector.FromRows(h.rows, kinds)
-	h.colSnap = s
+	h.colSnap.Store(s)
 	return s.cols, s.n, s.ok
 }
 
@@ -123,10 +151,10 @@ func kindsEqual(a, b []types.Kind) bool {
 func (h *Heap) DeleteWhere(match func(types.Row) (bool, error)) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	// Bump the version up front: the compaction below mutates the row
-	// slice in place, so even an error part-way through must invalidate
-	// the cached columnar snapshot.
-	h.version++
+	// Invalidate up front: the compaction below mutates the row slice in
+	// place, so even an error part-way through must drop the cached
+	// columnar snapshot.
+	h.invalidateLocked()
 	kept := h.rows[:0]
 	removed := 0
 	for _, r := range h.rows {
@@ -141,7 +169,6 @@ func (h *Heap) DeleteWhere(match func(types.Row) (bool, error)) (int, error) {
 		}
 	}
 	h.rows = kept
-	h.version++
 	return removed, nil
 }
 
@@ -149,6 +176,6 @@ func (h *Heap) DeleteWhere(match func(types.Row) (bool, error)) (int, error) {
 func (h *Heap) Truncate() {
 	h.mu.Lock()
 	h.rows = nil
-	h.version++
+	h.invalidateLocked()
 	h.mu.Unlock()
 }

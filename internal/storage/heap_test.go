@@ -231,3 +231,100 @@ func TestSnapshotColumnsInvalidatedByFailedDelete(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotNeverStaleAfterCommit: once a mutation returns, any
+// subsequent SnapshotColumns must reflect it — the cached pivot is
+// dropped inside the mutation's critical section, never lazily.
+func TestSnapshotNeverStaleAfterCommit(t *testing.T) {
+	h := NewHeap(1)
+	kinds := []types.Kind{types.KindInt}
+	if err := h.Insert(row(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, n, ok := h.SnapshotColumns(kinds); !ok || n != 1 {
+		t.Fatalf("warm-up snapshot = (%d, %v)", n, ok)
+	}
+	for i := int64(2); i <= 64; i++ {
+		if err := h.Insert(row(i)); err != nil {
+			t.Fatal(err)
+		}
+		cols, n, ok := h.SnapshotColumns(kinds)
+		if !ok || n != int(i) {
+			t.Fatalf("after insert %d: snapshot rows = %d (ok=%v)", i, n, ok)
+		}
+		if cols[0].Value(n-1).I != i {
+			t.Fatalf("after insert %d: last snapshot value = %v", i, cols[0].Value(n-1))
+		}
+	}
+	if _, err := h.DeleteWhere(func(r types.Row) (bool, error) { return r[0].I%2 == 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, n, ok := h.SnapshotColumns(kinds); !ok || n != 32 {
+		t.Fatalf("after delete: snapshot rows = %d", n)
+	}
+	h.Truncate()
+	if _, n, ok := h.SnapshotColumns(kinds); !ok || n != 0 {
+		t.Fatalf("after truncate: snapshot rows = %d", n)
+	}
+}
+
+// TestSnapshotColumnsConcurrentWithMutations: readers racing DML must
+// only ever observe snapshots that are internally consistent (row count
+// matches the vectors) and never a pivot older than a mutation they
+// started after. Run with -race.
+func TestSnapshotColumnsConcurrentWithMutations(t *testing.T) {
+	h := NewHeap(1)
+	kinds := []types.Kind{types.KindInt}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writer: inserts then deletes in waves.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < 400; i++ {
+			if err := h.Insert(row(i)); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%50 == 49 {
+				if _, err := h.DeleteWhere(func(r types.Row) (bool, error) { return r[0].I%7 == 0, nil }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		close(stop)
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				vBefore := h.Version()
+				cols, n, ok := h.SnapshotColumns(kinds)
+				if !ok {
+					t.Error("snapshot failed")
+					return
+				}
+				if n > 0 {
+					// Touch first and last lane: the vectors must cover n rows.
+					_ = cols[0].Value(0)
+					_ = cols[0].Value(n - 1)
+				}
+				// If the heap did not move while we read, the snapshot must
+				// match the live row count exactly (no stale cache served).
+				l := h.Len()
+				if h.Version() == vBefore && n != l {
+					t.Errorf("stale snapshot: %d rows vs heap %d at version %d", n, l, vBefore)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,133 @@
+// Package wire defines the permd client/server protocol: a simple
+// length-prefixed request/response framing with JSON message bodies.
+//
+// Every message on the connection is one frame:
+//
+//	uint32 big-endian body length | body (JSON)
+//
+// The client sends a Request and reads exactly one Response; requests on
+// one connection are processed in order (pipelining is permitted, the
+// server answers in receive order). Result values travel as the engine's
+// typed values, so a result round-trips the wire without loss and the
+// client can re-render it byte-identically to an embedded Database.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"perm/internal/types"
+)
+
+// MaxFrame bounds a single frame body (64 MiB) so a corrupt or malicious
+// length prefix cannot make either side allocate unboundedly.
+const MaxFrame = 64 << 20
+
+// Request operations.
+const (
+	OpQuery   = "QUERY"   // run SQL, return rows (SELECT / EXPLAIN)
+	OpExec    = "EXEC"    // run DDL/DML (semicolon-separated allowed), return affected count
+	OpPrepare = "PREPARE" // compile SQL under Name
+	OpExecute = "EXECUTE" // run the statement prepared under Name
+	OpExplain = "EXPLAIN" // return the physical plan of SQL as text
+	OpSet     = "SET"     // set the session option Name to SQL (option value)
+	OpPing    = "PING"    // liveness check
+)
+
+// Request is one client command.
+type Request struct {
+	Op   string `json:"op"`
+	SQL  string `json:"sql,omitempty"`  // statement text (QUERY/EXEC/PREPARE/EXPLAIN), option value (SET)
+	Name string `json:"name,omitempty"` // prepared-statement name (PREPARE/EXECUTE), option name (SET)
+}
+
+// Response is the server's answer to one Request.
+type Response struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"` // set when !OK
+
+	// Result payload (QUERY/EXECUTE; Plan for EXPLAIN).
+	Columns  []string        `json:"columns,omitempty"`
+	Prov     []bool          `json:"prov,omitempty"`
+	Rows     [][]types.Value `json:"rows,omitempty"`
+	Affected int             `json:"affected,omitempty"`
+	Plan     string          `json:"plan,omitempty"`
+}
+
+// Encode marshals v into one complete length-prefixed frame. It fails
+// without producing bytes when v cannot be marshaled (e.g. ±Inf/NaN
+// floats under encoding/json) or exceeds MaxFrame, so a caller can
+// substitute an error frame instead of abandoning the connection.
+func Encode(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}
+
+// WriteFrame marshals v and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	frame, err := Encode(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame body.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// ReadRequest reads and decodes one Request frame.
+func ReadRequest(r io.Reader) (*Request, error) {
+	body, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("wire: bad request: %v", err)
+	}
+	return &req, nil
+}
+
+// ReadResponse reads and decodes one Response frame.
+func ReadResponse(r io.Reader) (*Response, error) {
+	body, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("wire: bad response: %v", err)
+	}
+	return &resp, nil
+}
+
+// ErrorResponse builds the failure Response for err.
+func ErrorResponse(err error) *Response {
+	return &Response{Err: err.Error()}
+}

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"perm/internal/types"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{Op: OpQuery, SQL: "SELECT PROVENANCE name FROM shop"},
+		{Op: OpExec, SQL: "INSERT INTO shop VALUES ('Aldi', 9)"},
+		{Op: OpPrepare, Name: "q1", SQL: "SELECT 1"},
+		{Op: OpExecute, Name: "q1"},
+		{Op: OpExplain, SQL: "SELECT 1"},
+		{Op: OpSet, Name: "disable_vectorized", SQL: "on"},
+		{Op: OpPing},
+	}
+	var buf bytes.Buffer
+	for _, r := range reqs {
+		if err := WriteFrame(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range reqs {
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestResponseRoundTripTypedValues(t *testing.T) {
+	want := &Response{
+		OK:      true,
+		Columns: []string{"name", "n", "f", "d", "b", "nul"},
+		Prov:    []bool{false, false, false, false, false, true},
+		Rows: [][]types.Value{{
+			types.NewString("Merdies"),
+			types.NewInt(3),
+			types.NewFloat(2.5),
+			types.NewDate(19000),
+			types.NewBool(true),
+			types.NewNull(types.KindInt),
+		}},
+		Affected: 1,
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Typed values must render identically after the trip.
+	for i, v := range got.Rows[0] {
+		if v.String() != want.Rows[0][i].String() {
+			t.Fatalf("value %d renders %q, want %q", i, v.String(), want.Rows[0][i].String())
+		}
+	}
+}
+
+// TestGoldenFrame pins the on-wire bytes of a fixed request so protocol
+// changes are deliberate, not accidental.
+func TestGoldenFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Request{Op: OpQuery, SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	// JSON field order follows struct order, so the frame is deterministic.
+	golden := "\x00\x00\x00\x1f" + `{"op":"QUERY","sql":"SELECT 1"}`
+	if got := buf.String(); got != golden {
+		t.Fatalf("frame = %q, want %q", got, golden)
+	}
+	n := binary.BigEndian.Uint32(buf.Bytes()[:4])
+	if int(n) != buf.Len()-4 {
+		t.Fatalf("length prefix %d, body %d", n, buf.Len()-4)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame not rejected: %v", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadFrame(bytes.NewReader(b[:len(b)-2])); err == nil {
+		t.Fatal("truncated body must fail")
+	}
+	if _, err := ReadFrame(bytes.NewReader(b[:2])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated header: %v", err)
+	}
+}
+
+func TestBadJSONRejected(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte(`{"op":`)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, err := ReadRequest(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+}

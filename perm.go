@@ -35,16 +35,25 @@ import (
 	"perm/internal/optimize"
 	"perm/internal/plan"
 	"perm/internal/provrewrite"
+	"perm/internal/qcache"
 	"perm/internal/sql"
 	"perm/internal/types"
 )
 
-// Database is an in-memory Perm database: a catalog of tables and views
-// plus the query pipeline. It is safe for concurrent readers; DDL/DML and
-// queries must not race on the same tables.
+// Database is an in-memory Perm database: a catalog of tables and views,
+// a shared compiled-query cache, and the query pipeline. All methods are
+// safe for concurrent use: queries run against consistent snapshots,
+// catalog access is guarded by the catalog's reader/writer lock, and
+// DDL/DML advance a monotonic catalog version that invalidates cached
+// compilation artifacts and prepared statements.
 type Database struct {
-	cat  *catalog.Catalog
-	opts Options
+	cat   *catalog.Catalog
+	opts  Options
+	cache *qcache.Cache
+	// optsKey fingerprints the compile-relevant options so databases
+	// derived via WithOptions share the cache without ever sharing an
+	// artifact compiled under different rewrite settings.
+	optsKey string
 }
 
 // Options configure a Database.
@@ -66,6 +75,17 @@ type Options struct {
 	// cannot handle fall back to the row engine automatically — so the
 	// switch exists as an escape hatch and for A/B measurement.
 	DisableVectorized bool
+
+	// DisableQueryCache turns off the shared compiled-query cache; every
+	// Query call then re-parses, re-rewrites and re-optimizes its
+	// statement. Caching is semantics-preserving (artifacts are
+	// invalidated whenever the catalog version moves), so the switch
+	// exists as an escape hatch and for A/B measurement.
+	DisableQueryCache bool
+
+	// QueryCacheSize bounds the number of compiled statements kept in
+	// the shared cache (0 means the default of 256).
+	QueryCacheSize int
 }
 
 // NewDatabase returns an empty database with default options.
@@ -73,8 +93,63 @@ func NewDatabase() *Database { return NewDatabaseWithOptions(Options{}) }
 
 // NewDatabaseWithOptions returns an empty database.
 func NewDatabaseWithOptions(opts Options) *Database {
-	return &Database{cat: catalog.New(), opts: opts}
+	return &Database{
+		cat:     catalog.New(),
+		opts:    opts,
+		cache:   qcache.New(opts.QueryCacheSize),
+		optsKey: optionsFingerprint(opts),
+	}
 }
+
+// WithOptions returns a database handle over the same catalog, data and
+// compiled-query cache, but with different options. Sessions use this to
+// give each client its own settings without copying any state; the cache
+// keys compilation artifacts by option fingerprint, so handles with
+// different rewrite settings never share a compiled tree.
+func (db *Database) WithOptions(opts Options) *Database {
+	return &Database{
+		cat:     db.cat,
+		opts:    opts,
+		cache:   db.cache,
+		optsKey: optionsFingerprint(opts),
+	}
+}
+
+// Opts returns the options of this database handle.
+func (db *Database) Opts() Options { return db.opts }
+
+// optionsFingerprint encodes the options that change what the compile
+// pipeline produces. Planner-level options (vectorization) are excluded:
+// the cached artifact is the optimized logical tree, planned fresh on
+// every execution.
+func optionsFingerprint(opts Options) string {
+	key := []byte{'0', '0'}
+	if opts.FlattenSetOps {
+		key[0] = '1'
+	}
+	if opts.DisableOptimizer {
+		key[1] = '1'
+	}
+	return string(key)
+}
+
+// CacheStats are cumulative counters of the shared compiled-query cache.
+type CacheStats struct {
+	Hits          uint64 // queries served a cached compilation artifact
+	Misses        uint64 // queries that compiled from scratch
+	Invalidations uint64 // artifacts dropped because DDL/DML moved the catalog version
+	Evictions     uint64 // artifacts dropped by LRU capacity pressure
+}
+
+// QueryCacheStats returns a snapshot of the shared cache counters.
+func (db *Database) QueryCacheStats() CacheStats {
+	s := db.cache.Stats()
+	return CacheStats{Hits: s.Hits, Misses: s.Misses, Invalidations: s.Invalidations, Evictions: s.Evictions}
+}
+
+// CatalogVersion returns the current catalog version (advanced by every
+// DDL and DML statement; cached compilation artifacts are tagged with it).
+func (db *Database) CatalogVersion() uint64 { return db.cat.Version() }
 
 // Value is a single result value.
 type Value struct {
@@ -210,10 +285,26 @@ func (db *Database) MustExec(text string) {
 }
 
 // Query runs a single SELECT (or EXPLAIN) statement and returns its result.
+//
+// Plain SELECTs are served through the shared compiled-query cache: the
+// analyzed, provenance-rewritten and optimized tree is reused verbatim
+// across calls (and across sessions) until a DDL or DML statement moves
+// the catalog version; physical planning and execution always run fresh
+// against the current data. SELECT ... INTO and EXPLAIN bypass the cache.
 func (db *Database) Query(text string) (*Result, error) {
+	if q, ok := db.cacheGet(text); ok {
+		return db.executeCompiled(q, "")
+	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
+	}
+	if sel, ok := stmt.(*sql.SelectStmt); ok && sel.Into == "" {
+		q, err := db.compileSelect(sel, text)
+		if err != nil {
+			return nil, err
+		}
+		return db.executeCompiled(q, "")
 	}
 	_, res, err := db.run(stmt, text)
 	if err != nil {
@@ -221,6 +312,73 @@ func (db *Database) Query(text string) (*Result, error) {
 	}
 	if res == nil {
 		return nil, fmt.Errorf("statement returns no result; use Exec")
+	}
+	return res, nil
+}
+
+// cacheGet looks up the compiled artifact for a statement text, honouring
+// the DisableQueryCache escape hatch and the current catalog version.
+func (db *Database) cacheGet(text string) (*algebra.Query, bool) {
+	if db.opts.DisableQueryCache {
+		return nil, false
+	}
+	v, ok := db.cache.Get(db.optsKey+"\x00"+text, db.cat.Version())
+	if !ok {
+		return nil, false
+	}
+	return v.(*algebra.Query), true
+}
+
+// compileSelect runs the compile pipeline for a parsed plain SELECT and,
+// when caching is enabled, publishes the artifact for reuse. The catalog
+// version is read before compilation: if concurrent DDL/DML lands while
+// we compile, the stored artifact is tagged with the older version and
+// the next lookup discards it, so a cached tree can never be newer than
+// the version it claims.
+func (db *Database) compileSelect(sel *sql.SelectStmt, text string) (*algebra.Query, error) {
+	ver := db.cat.Version()
+	q, err := db.analyzeAndRewrite(sel)
+	if err != nil {
+		return nil, err
+	}
+	if !db.opts.DisableQueryCache && text != "" {
+		db.cache.Put(db.optsKey+"\x00"+text, q, ver)
+	}
+	return q, nil
+}
+
+// executeCompiled plans and runs a compiled query tree. The artifact is
+// shared read-only: all per-execution state (the physical plan, its data
+// snapshots and iterator state) is private to this call.
+func (db *Database) executeCompiled(q *algebra.Query, into string) (*Result, error) {
+	node, err := db.planner().Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Collect(node)
+	if err != nil {
+		return nil, err
+	}
+	schema := q.Schema()
+	res := &Result{
+		Columns:     schema.Names(),
+		ProvColumns: make([]bool, len(schema)),
+	}
+	for _, pc := range q.ProvCols {
+		res.ProvColumns[pc.Col] = true
+	}
+	res.Rows = make([][]Value, len(rows))
+	for i, r := range rows {
+		vr := make([]Value, len(r))
+		for j, v := range r {
+			vr[j] = Value{v: v}
+		}
+		res.Rows[i] = vr
+	}
+	if into != "" {
+		if err := db.materialize(into, schema, rows); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }
@@ -418,36 +576,7 @@ func (db *Database) runSelect(sel *sql.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	node, err := db.planner().Plan(q)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := exec.Collect(node)
-	if err != nil {
-		return nil, err
-	}
-	schema := q.Schema()
-	res := &Result{
-		Columns:     schema.Names(),
-		ProvColumns: make([]bool, len(schema)),
-	}
-	for _, pc := range q.ProvCols {
-		res.ProvColumns[pc.Col] = true
-	}
-	res.Rows = make([][]Value, len(rows))
-	for i, r := range rows {
-		vr := make([]Value, len(r))
-		for j, v := range r {
-			vr[j] = Value{v: v}
-		}
-		res.Rows[i] = vr
-	}
-	if into != "" {
-		if err := db.materialize(into, schema, rows); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return db.executeCompiled(q, into)
 }
 
 // materialize stores a result as a new base table (SELECT ... INTO).
@@ -483,6 +612,9 @@ func (db *Database) runInsert(s *sql.InsertStmt) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("table %q does not exist", s.Table)
 	}
+	// DML moves the catalog version (even on a partial failure some rows
+	// may have landed), conservatively invalidating cached artifacts.
+	defer db.cat.Bump()
 	// Map the column list to positions.
 	positions := make([]int, 0, len(t.Cols))
 	if len(s.Cols) == 0 {
@@ -613,6 +745,7 @@ func (db *Database) runDelete(s *sql.DeleteStmt) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("table %q does not exist", s.Table)
 	}
+	defer db.cat.Bump()
 	if s.Where == nil {
 		n := t.Heap.Len()
 		t.Heap.Truncate()
@@ -669,5 +802,6 @@ func (db *Database) InsertRows(table string, rows []types.Row) error {
 	if !ok {
 		return fmt.Errorf("table %q does not exist", table)
 	}
+	defer db.cat.Bump()
 	return t.Heap.InsertAll(rows)
 }

@@ -1,0 +1,131 @@
+// Package permclient is a tiny Go client for the permd query service.
+// It speaks the length-prefixed wire protocol (perm/internal/wire) over
+// TCP and returns results as *perm.Result, rendering byte-identically to
+// an embedded perm.Database.
+//
+//	c, err := permclient.Dial("localhost:5433")
+//	res, err := c.Query("SELECT PROVENANCE name FROM shop")
+//	fmt.Print(res) // same table an embedded Database would print
+package permclient
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"perm"
+	"perm/internal/wire"
+)
+
+// Client is one connection to a permd server. It is safe for concurrent
+// use; requests are serialized on the connection (one in flight at a
+// time), matching the server's per-connection session semantics.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a permd server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection (the server drops the session, including
+// its prepared statements).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.w, req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadResponse(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("%s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks that the server is alive.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// Query runs a SELECT (or EXPLAIN) and returns its result.
+func (c *Client) Query(sql string) (*perm.Result, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpQuery, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	return perm.NewRawResult(resp.Columns, resp.Prov, resp.Rows), nil
+}
+
+// Exec runs one or more statements of the service dialect (DDL, DML,
+// PREPARE name AS ..., SET option = value, ...). For statements that
+// return rows it returns (result, 0); otherwise (nil, affected).
+func (c *Client) Exec(sql string) (*perm.Result, int, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpExec, SQL: sql})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Columns != nil {
+		return perm.NewRawResult(resp.Columns, resp.Prov, resp.Rows), 0, nil
+	}
+	return nil, resp.Affected, nil
+}
+
+// Prepare compiles a SELECT under a name in this connection's session.
+func (c *Client) Prepare(name, sql string) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpPrepare, Name: name, SQL: sql})
+	return err
+}
+
+// Execute runs a statement prepared on this connection.
+func (c *Client) Execute(name string) (*perm.Result, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpExecute, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return perm.NewRawResult(resp.Columns, resp.Prov, resp.Rows), nil
+}
+
+// Explain returns the physical plan of a query as indented text.
+func (c *Client) Explain(sql string) (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpExplain, SQL: sql})
+	if err != nil {
+		return "", err
+	}
+	return resp.Plan, nil
+}
+
+// Set changes one session option (see session.SetOption for names).
+func (c *Client) Set(option, value string) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpSet, Name: option, SQL: value})
+	return err
+}

@@ -1,0 +1,38 @@
+package perm
+
+import "perm/internal/types"
+
+// Raw-value bridging for the permd wire protocol. These helpers expose
+// the engine's internal typed values so the server and client can ship
+// results without loss; they are module-internal plumbing (the types
+// live under internal/) and not part of the stable embedded API.
+
+// RawRows returns the result tuples as engine values.
+func (r *Result) RawRows() [][]types.Value {
+	out := make([][]types.Value, len(r.Rows))
+	for i, row := range r.Rows {
+		vr := make([]types.Value, len(row))
+		for j, v := range row {
+			vr[j] = v.v
+		}
+		out[i] = vr
+	}
+	return out
+}
+
+// NewRawResult builds a Result from engine values (the client side of
+// the wire protocol).
+func NewRawResult(cols []string, prov []bool, rows [][]types.Value) *Result {
+	if prov == nil {
+		prov = make([]bool, len(cols))
+	}
+	res := &Result{Columns: cols, ProvColumns: prov, Rows: make([][]Value, len(rows))}
+	for i, row := range rows {
+		vr := make([]Value, len(row))
+		for j, v := range row {
+			vr[j] = Value{v: v}
+		}
+		res.Rows[i] = vr
+	}
+	return res
+}

@@ -1,0 +1,120 @@
+// Benchmarks for the concurrent query service layer: compiled-query
+// cache speedup over cold compilation (BenchmarkPlanCache) and
+// aggregate query throughput versus worker count over one shared
+// Database (BenchmarkConcurrentThroughput). Both load a deliberately
+// tiny TPC-H instance so compilation cost is visible next to execution.
+package perm_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"perm"
+	"perm/internal/synth"
+	"perm/internal/tpch"
+)
+
+const serviceBenchSF = 0.0002
+
+var (
+	serviceBenchOnce sync.Once
+	serviceBenchDB   *perm.Database
+)
+
+func sharedServiceBenchDB(b *testing.B) *perm.Database {
+	b.Helper()
+	serviceBenchOnce.Do(func() {
+		serviceBenchDB = perm.NewDatabase()
+		tpch.MustLoad(serviceBenchDB, serviceBenchSF, 42)
+	})
+	return serviceBenchDB
+}
+
+// serviceBenchQueries builds compilation-heavy provenance statements
+// (deep SPJ nesting and aggregation chains, the Fig. 13/14 shapes).
+func serviceBenchQueries(b *testing.B, db *perm.Database) []struct{ name, text string } {
+	b.Helper()
+	partCount, err := db.TableRowCount("part")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []struct{ name, text string }{
+		{"spj6", injectProv(synth.SPJQuery(tpch.NewRand(6), 6, partCount))},
+		{"aggchain8", injectProv(synth.AggChainQuery(8, partCount))},
+	}
+}
+
+// BenchmarkPlanCache measures what the shared compiled-query cache
+// saves: "cold" recompiles the statement on every call (cache disabled),
+// "warm" serves the analyzed+rewritten+optimized tree from the cache and
+// only plans and executes. Both run the query to completion, so the
+// ratio understates the pure compile saving.
+func BenchmarkPlanCache(b *testing.B) {
+	db := sharedServiceBenchDB(b)
+	cold := db.WithOptions(perm.Options{DisableQueryCache: true})
+	for _, q := range serviceBenchQueries(b, db) {
+		b.Run(q.name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cold.Query(q.text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.name+"/warm", func(b *testing.B) {
+			if _, err := db.Query(q.text); err != nil { // prime the cache
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q.text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentThroughput drives one shared Database from a pool
+// of worker goroutines, all drawing from the same cached statement mix
+// (the service steady state: many clients, hot cache). ns/op is the
+// aggregate per-query latency — dividing the single-worker figure by an
+// N-worker figure gives the QPS scaling factor for N workers.
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	db := sharedServiceBenchDB(b)
+	queries := serviceBenchQueries(b, db)
+	corpus := make([]string, len(queries))
+	for i, q := range queries {
+		corpus[i] = q.text
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for _, q := range corpus { // prime the cache
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						if _, err := db.Query(corpus[i%int64(len(corpus))]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
