@@ -12,9 +12,14 @@ import (
 	"testing"
 
 	"perm"
+	"perm/internal/algebra"
+	"perm/internal/eval"
 	"perm/internal/synth"
 	"perm/internal/tpch"
 	"perm/internal/trio"
+	"perm/internal/types"
+	"perm/internal/vector"
+	"perm/internal/vexec"
 )
 
 // benchSF is the scale factor used by the benchmarks. The paper's
@@ -381,7 +386,86 @@ func BenchmarkAblationVectorized(b *testing.B) {
 					}
 				})
 			}
+			if !variant.disable {
+				b.Run("alloc-budget/scan-filter-project", benchVecAllocBudget)
+			}
 		})
+	}
+}
+
+// benchBinder binds Vars positionally for the vexec alloc-budget bench.
+type benchBinder struct{}
+
+func (benchBinder) BindVar(v *algebra.Var) (int, error) { return v.Col, nil }
+func (benchBinder) BindSubLink(*algebra.SubLink) (eval.SubLinkValue, error) {
+	return nil, fmt.Errorf("no sublinks")
+}
+
+// allocBudgetPerDrain bounds the allocations of one full drain of a
+// 32k-row scan→filter→project pipeline. The batch-buffer pool makes the
+// per-batch cost O(1) small allocations (batch headers and selection
+// reslices); without pooling, every batch would allocate fresh result
+// vectors and the count explodes by an order of magnitude. Guarded here
+// so a regression in the recycling protocol fails CI's bench smoke.
+const allocBudgetPerDrain = 600
+
+// benchVecAllocBudget asserts the batch-buffer pool keeps a vectorized
+// pipeline's steady-state allocation rate flat.
+func benchVecAllocBudget(b *testing.B) {
+	const n = 32 * 1024
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 97))}
+	}
+	kinds := []types.Kind{types.KindInt, types.KindInt}
+	cols, ok := vector.FromRows(rows, kinds)
+	if !ok {
+		b.Fatal("rows do not pivot")
+	}
+	v := func(col int) algebra.Expr { return &algebra.Var{RT: 0, Col: col, Typ: types.KindInt} }
+	c := func(x int64) algebra.Expr { return &algebra.Const{Val: types.NewInt(x)} }
+	pred, err := vexec.CompileExpr(&algebra.BinOp{
+		Op:    "=",
+		Left:  &algebra.BinOp{Op: "%", Left: v(0), Right: c(3), Typ: types.KindInt},
+		Right: c(0), Typ: types.KindBool,
+	}, benchBinder{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	proj, err := vexec.CompileExprs([]algebra.Expr{
+		&algebra.BinOp{Op: "+", Left: v(0), Right: v(1), Typ: types.KindInt},
+		v(1),
+	}, benchBinder{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipeline := vexec.NewProject(vexec.NewFilter(vexec.NewColScan(cols, n), pred), proj)
+	drain := func() {
+		if err := pipeline.Open(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			batch, err := pipeline.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if batch == nil {
+				break
+			}
+		}
+		if err := pipeline.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	drain() // warm the pool
+	allocs := testing.AllocsPerRun(10, drain)
+	b.ReportMetric(allocs, "allocs/drain")
+	if allocs > allocBudgetPerDrain {
+		b.Fatalf("vectorized pipeline allocated %.0f times per drain (budget %d): batch-buffer recycling regressed",
+			allocs, allocBudgetPerDrain)
+	}
+	for i := 0; i < b.N; i++ {
+		drain()
 	}
 }
 

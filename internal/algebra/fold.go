@@ -1,0 +1,55 @@
+package algebra
+
+import "perm/internal/types"
+
+// FoldConst evaluates a constant-only arithmetic subtree (notably the
+// date ± interval bounds every TPC-H range predicate carries) with the
+// engine's value operations. It is shared by the vectorized expression
+// compiler (so enclosing comparisons still vectorize) and the planner's
+// selectivity estimator, keeping both on identical folding semantics.
+// Errors (e.g. a constant division by zero) leave the tree unfolded; the
+// runtime then raises the same error it would have anyway.
+func FoldConst(e Expr) (types.Value, bool) {
+	switch n := e.(type) {
+	case *Const:
+		return n.Val, true
+	case *UnOp:
+		if n.Op != "-" {
+			return types.NullValue, false
+		}
+		v, ok := FoldConst(n.Expr)
+		if !ok {
+			return types.NullValue, false
+		}
+		out, err := types.Neg(v)
+		return out, err == nil
+	case *BinOp:
+		l, ok := FoldConst(n.Left)
+		if !ok {
+			return types.NullValue, false
+		}
+		r, ok := FoldConst(n.Right)
+		if !ok {
+			return types.NullValue, false
+		}
+		var out types.Value
+		var err error
+		switch n.Op {
+		case "+":
+			out, err = types.Add(l, r)
+		case "-":
+			out, err = types.Sub(l, r)
+		case "*":
+			out, err = types.Mul(l, r)
+		case "/":
+			out, err = types.Div(l, r)
+		case "%":
+			out, err = types.Mod(l, r)
+		default:
+			return types.NullValue, false
+		}
+		return out, err == nil
+	default:
+		return types.NullValue, false
+	}
+}

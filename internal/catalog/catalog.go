@@ -21,11 +21,14 @@ type Column struct {
 	Type types.Kind
 }
 
-// Table is a base relation: schema plus heap storage.
+// Table is a base relation: schema plus heap storage, plus a lazily
+// maintained statistics snapshot (see Stats in stats.go).
 type Table struct {
 	Name string
 	Cols []Column
 	Heap *storage.Heap
+
+	stats atomic.Pointer[tableStatsCache]
 }
 
 // ColIndex returns the position of the named column, or -1.

@@ -26,6 +26,7 @@
 package optimize
 
 import (
+	"sort"
 	"strconv"
 
 	"perm/internal/algebra"
@@ -39,15 +40,29 @@ const outputRT = -1
 // tree, so real queries converge in a handful of passes.
 const maxPasses = 32
 
+// Stats provides optional base-table cardinalities for the join-tree
+// canonicalization. When present, the implicit join list of every plain
+// block is ordered by estimated cardinality (smallest first) instead of
+// syntactic order, giving the planner's greedy join ordering a
+// stats-driven starting point and deterministic tie-breaking.
+type Stats interface {
+	// TableRows returns the current row count of a base table.
+	TableRows(name string) (float64, bool)
+}
+
 // Query optimizes the tree to a fixpoint and returns the (possibly
 // replaced) root. The input is mutated in place.
-func Query(q *algebra.Query) *algebra.Query {
+func Query(q *algebra.Query) *algebra.Query { return QueryWithStats(q, nil) }
+
+// QueryWithStats is Query with base-table statistics available to the
+// cardinality-driven rules (join-list ordering).
+func QueryWithStats(q *algebra.Query, st Stats) *algebra.Query {
 	if q == nil {
 		return nil
 	}
 	for pass := 0; pass < maxPasses; pass++ {
 		var changed bool
-		q, changed = optimizeNode(q)
+		q, changed = optimizeNode(q, st)
 		if !changed {
 			break
 		}
@@ -57,20 +72,20 @@ func Query(q *algebra.Query) *algebra.Query {
 
 // optimizeNode runs one bottom-up pass over the node: children first,
 // then the local rules. It returns the possibly replaced node.
-func optimizeNode(q *algebra.Query) (*algebra.Query, bool) {
+func optimizeNode(q *algebra.Query, st Stats) (*algebra.Query, bool) {
 	changed := false
 	for _, rte := range q.RangeTable {
 		if rte.Subquery == nil {
 			continue
 		}
-		sub, c := optimizeNode(rte.Subquery)
+		sub, c := optimizeNode(rte.Subquery, st)
 		rte.Subquery = sub
 		changed = changed || c
 	}
 	q.VisitExprs(func(e algebra.Expr) {
 		algebra.WalkExpr(e, func(x algebra.Expr) {
 			if sl, ok := x.(*algebra.SubLink); ok && sl.Query != nil {
-				sub, c := optimizeNode(sl.Query)
+				sub, c := optimizeNode(sl.Query, st)
 				sl.Query = sub
 				changed = changed || c
 			}
@@ -99,10 +114,113 @@ func optimizeNode(q *algebra.Query) (*algebra.Query, bool) {
 	if dropRedundantDistinct(q) {
 		changed = true
 	}
+	if orderJoinList(q, st) {
+		changed = true
+	}
 	if merged, ok := collapseIdentity(q); ok {
 		return merged, true
 	}
 	return q, changed
+}
+
+// ---------------------------------------------------------------------------
+// Stats-driven join-list ordering
+
+// orderJoinList stable-sorts the implicit join list by estimated
+// cardinality, smallest first. The list is commutable by construction
+// (flattenInnerJoins only hoists inner/cross joins into it), so the
+// reorder is semantics-preserving; it canonicalizes the order the
+// planner's greedy join ordering starts from, so equally-costed plans no
+// longer depend on how the rewriter happened to nest its shells.
+func orderJoinList(q *algebra.Query, st Stats) bool {
+	if st == nil || len(q.From) < 2 {
+		return false
+	}
+	cards := make(map[algebra.FromItem]float64, len(q.From))
+	for _, fi := range q.From {
+		cards[fi] = fromItemCard(fi, q, st)
+	}
+	sorted := true
+	for i := 1; i < len(q.From); i++ {
+		if cards[q.From[i]] < cards[q.From[i-1]] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return false
+	}
+	sort.SliceStable(q.From, func(i, j int) bool {
+		return cards[q.From[i]] < cards[q.From[j]]
+	})
+	return true
+}
+
+// fromItemCard estimates the cardinality of one FROM item. Join trees
+// (outer joins, whose shape is load-bearing) estimate as the product of
+// their sides.
+func fromItemCard(fi algebra.FromItem, q *algebra.Query, st Stats) float64 {
+	switch n := fi.(type) {
+	case *algebra.FromRef:
+		if n.RT < len(q.RangeTable) {
+			return rteCard(q.RangeTable[n.RT], st)
+		}
+	case *algebra.FromJoin:
+		return fromItemCard(n.Left, q, st) * fromItemCard(n.Right, q, st)
+	}
+	return 1000
+}
+
+func rteCard(rte *algebra.RTE, st Stats) float64 {
+	switch rte.Kind {
+	case algebra.RTERelation:
+		if rows, ok := st.TableRows(rte.RelName); ok {
+			return rows + 1
+		}
+	case algebra.RTESubquery:
+		return queryCard(rte.Subquery, st)
+	case algebra.RTEValues:
+		return float64(len(rte.Rows)) + 1
+	}
+	return 1000
+}
+
+// queryCard crudely estimates a subquery's output cardinality: product
+// of its FROM items, damped per WHERE conjunct, collapsed by
+// aggregation, capped by LIMIT. The planner re-estimates precisely; this
+// only has to rank siblings.
+func queryCard(q *algebra.Query, st Stats) float64 {
+	if q == nil {
+		return 1000
+	}
+	if q.IsSetOp() {
+		total := 0.0
+		for _, rte := range q.RangeTable {
+			total += queryCard(rte.Subquery, st)
+		}
+		return total
+	}
+	card := 1.0
+	for _, fi := range q.From {
+		card *= fromItemCard(fi, q, st)
+	}
+	for range algebra.Conjuncts(q.Where) {
+		card *= 0.5
+	}
+	if q.HasAggs {
+		if len(q.GroupBy) == 0 {
+			card = 1
+		} else {
+			card = card/2 + 1
+		}
+	}
+	if c, ok := q.Limit.(*algebra.Const); ok && !c.Val.Null && float64(c.Val.I) < card {
+		card = float64(c.Val.I)
+	}
+	if card < 1 {
+		card = 1
+	}
+	return card
 }
 
 // ---------------------------------------------------------------------------

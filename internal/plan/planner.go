@@ -44,7 +44,7 @@ func (p *Planner) Plan(q *algebra.Query) (exec.Node, error) {
 }
 
 // planned is a plan fragment: an executor node plus the layout of its
-// output row and a crude cardinality estimate for join ordering.
+// output row and a cardinality estimate for join ordering.
 //
 // When the whole fragment is vectorized, vnode holds the batch operator
 // tree and node is the same tree behind a batch→row adapter, so row
@@ -62,9 +62,47 @@ type planned struct {
 	layout map[int]int
 	// kinds of the output row columns, in order.
 	kinds []types.Kind
+	// cols traces each output column to its base-table origin, parallel
+	// to kinds (nil = nothing known). See colInfo.
+	cols []colInfo
 	// rts is the set of range-table entries contained in this fragment.
 	rts map[int]bool
 	est float64
+}
+
+// colInfo is the per-column provenance of a fragment's output used by the
+// cost model and by runtime-filter pushdown. stats points at the base
+// column's statistics sketch (selectivity and join-cardinality
+// estimates); scan/scanCol identify the columnar scan the value passes
+// through unchanged, which is where a vectorized hash join may attach a
+// runtime filter on this column. Both are best-effort: zero values just
+// disable the respective optimization. scan is only propagated along
+// paths where pruning source rows whose value cannot satisfy a downstream
+// inner-join key is invisible (it is cleared across aggregation, set
+// operations, limits and the null-producing side of outer joins).
+type colInfo struct {
+	scan    *vexec.ColScan
+	scanCol int
+	stats   *catalog.ColStats
+}
+
+// fragCols returns the fragment's column infos, materializing an empty
+// slice of the right width when nothing is known.
+func fragCols(pl *planned) []colInfo {
+	if pl.cols != nil {
+		return pl.cols
+	}
+	return make([]colInfo, len(pl.kinds))
+}
+
+// clearScans returns a copy of the column infos with the runtime-filter
+// attachment points removed (statistics are kept).
+func clearScans(cols []colInfo) []colInfo {
+	out := append([]colInfo(nil), cols...)
+	for i := range out {
+		out[i].scan = nil
+	}
+	return out
 }
 
 func (p *Planner) planQuery(q *algebra.Query) (*planned, error) {
@@ -82,33 +120,6 @@ func (p *Planner) planQuery(q *algebra.Query) (*planned, error) {
 func (p *Planner) setVNode(pl *planned, vn vexec.Node) {
 	pl.vnode = vn
 	pl.node = vexec.NewRowSource(vn)
-}
-
-// layoutVarBinder adapts a range-table layout for vectorized expression
-// compilation (flat batch positions mirror flat row positions).
-func layoutVarBinder(layout map[int]int) vexec.VarBinder {
-	return func(v *algebra.Var) (int, error) {
-		if v.RT == outputRT {
-			return 0, fmt.Errorf("plan: unexpected output-column reference %q", v.Name)
-		}
-		if v.RT == flatRT {
-			return v.Col, nil
-		}
-		off, ok := layout[v.RT]
-		if !ok {
-			return 0, fmt.Errorf("plan: column %q references an entry outside this fragment", v.Name)
-		}
-		return off + v.Col, nil
-	}
-}
-
-// flatVarBinder binds flat Vars (RT==flatRT) positionally for vectorized
-// compilation over computed rows (aggregate output).
-func flatVarBinder(v *algebra.Var) (int, error) {
-	if v.RT != flatRT {
-		return 0, fmt.Errorf("plan: unexpected var %q (rt=%d) over computed row", v.Name, v.RT)
-	}
-	return v.Col, nil
 }
 
 // demote reverts a fragment that is still a bare columnar scan to the
@@ -129,18 +140,26 @@ func demote(pl *planned) {
 // attachFilter adds a filter for e on top of the fragment, staying
 // vectorized when the predicate compiles for the batch engine and
 // falling back to a row filter (over the fragment's adapter) otherwise.
+// The fragment's cardinality estimate is scaled by the predicate's
+// estimated selectivity.
 func (p *Planner) attachFilter(pl *planned, e algebra.Expr) error {
 	if e == nil {
 		return nil
 	}
+	binder := &rowBinder{p: p, layout: pl.layout}
+	defer func() {
+		pl.est *= p.selectivity(e, pl)
+		if pl.est < 0.1 {
+			pl.est = 0.1
+		}
+	}()
 	if pl.vnode != nil {
-		if ve, err := vexec.CompileExpr(e, layoutVarBinder(pl.layout)); err == nil && ve.Kind() == types.KindBool {
+		if ve, err := vexec.CompileExpr(e, binder); err == nil && ve.Kind() == types.KindBool {
 			p.setVNode(pl, vexec.NewFilter(pl.vnode, ve))
 			return nil
 		}
 	}
 	demote(pl)
-	binder := &rowBinder{p: p, layout: pl.layout}
 	pred, err := eval.Compile(e, binder)
 	if err != nil {
 		return err
@@ -166,14 +185,16 @@ func (p *Planner) planSetOp(q *algebra.Query) (*planned, error) {
 	if err != nil {
 		return nil, err
 	}
-	node := pl.node
 	est := pl.est
-	node, err = p.applySortLimit(q, node, len(q.TargetList), nil)
+	node, vnode, err := p.applySortLimit(q, pl.node, pl.vnode, len(q.TargetList))
 	if err != nil {
 		return nil, err
 	}
+	if c, ok := q.Limit.(*algebra.Const); ok && !c.Val.Null && float64(c.Val.I) < est {
+		est = float64(c.Val.I)
+	}
 	schema := q.Schema()
-	return &planned{node: node, kinds: schema.Kinds(), est: est}, nil
+	return &planned{node: node, vnode: vnode, kinds: schema.Kinds(), est: est}, nil
 }
 
 func (p *Planner) foldSetOp(item algebra.SetOpItem, branches map[int]*planned) (*planned, error) {
@@ -198,14 +219,35 @@ func (p *Planner) foldSetOp(item algebra.SetOpItem, branches map[int]*planned) (
 		case algebra.SetExcept:
 			kind = exec.Except
 		}
-		return &planned{
-			node:  exec.NewSetOp(left.node, right.node, kind, n.All),
-			kinds: left.kinds,
-			est:   left.est + right.est,
-		}, nil
+		out := &planned{kinds: left.kinds, est: left.est + right.est}
+		// The vectorized set operation requires identical column kinds on
+		// both branches (its stored columns are typed after the left
+		// branch); mismatched branches stay on the row engine, whose boxed
+		// rows compare across kinds dynamically.
+		if p.vectorized && left.vnode != nil && right.vnode != nil &&
+			kindsMatch(left.kinds, right.kinds) {
+			p.setVNode(out, vexec.NewVecSetOp(left.vnode, right.vnode, kind, n.All))
+			return out, nil
+		}
+		demote(left)
+		demote(right)
+		out.node = exec.NewSetOp(left.node, right.node, kind, n.All)
+		return out, nil
 	default:
 		return nil, fmt.Errorf("plan: unknown set operation item %T", item)
 	}
+}
+
+func kindsMatch(a, b []types.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ---------------------------------------------------------------------------
@@ -224,8 +266,11 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 	// engine; otherwise the fragment drops to the row engine here.
 	var node exec.Node
 	var vnode vexec.Node
+	var outCols []colInfo
 	var outWidth = len(q.TargetList)
+	est := input.est
 	if q.HasAggs {
+		est = p.aggEstimate(q, input)
 		node, vnode, err = p.planAggregation(q, input)
 		if err != nil {
 			return nil, err
@@ -240,7 +285,7 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 		extraSort := p.extraSortExprs(q)
 		exprs = append(exprs, extraSort...)
 		if input.vnode != nil {
-			if ves, err := vexec.CompileExprs(exprs, layoutVarBinder(input.layout)); err == nil {
+			if ves, err := vexec.CompileExprs(exprs, &rowBinder{p: p, layout: input.layout}); err == nil {
 				vnode = vexec.NewProject(input.vnode, ves)
 				node = vexec.NewRowSource(vnode)
 			}
@@ -254,30 +299,76 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 			}
 			node = exec.NewProject(input.node, fns)
 		}
+		// Column provenance passes through the projection wherever an
+		// output expression is a bare column reference.
+		outCols = make([]colInfo, outWidth)
+		inCols := fragCols(input)
+		for i := 0; i < outWidth; i++ {
+			if v, ok := exprs[i].(*algebra.Var); ok && v.RT >= 0 {
+				if off, ok := input.layout[v.RT]; ok && off+v.Col < len(inCols) {
+					outCols[i] = inCols[off+v.Col]
+				}
+			}
+		}
 	}
 
-	// 3. DISTINCT (row engine).
+	// 3. DISTINCT.
 	if q.Distinct {
-		node = exec.NewDistinct(node)
-		vnode = nil
+		if vnode != nil {
+			vnode = vexec.NewVecDistinct(vnode)
+			node = vexec.NewRowSource(vnode)
+		} else {
+			node = exec.NewDistinct(node)
+		}
 	}
 
-	// 4. ORDER BY / LIMIT / OFFSET (strips hidden sort columns; row
-	// engine, so sorting/limiting clears the vectorized handle).
-	node, err = p.applySortLimit(q, node, outWidth, nil)
+	// 4. ORDER BY / LIMIT / OFFSET (strips hidden sort columns).
+	node, vnode, err = p.applySortLimit(q, node, vnode, outWidth)
 	if err != nil {
 		return nil, err
 	}
-	if len(q.OrderBy) > 0 || q.Limit != nil || q.Offset != nil {
-		vnode = nil
+	if q.Limit != nil || q.Offset != nil {
+		// Which rows survive a limit depends on rows pruning would
+		// remove, so runtime filters must not reach through it.
+		outCols = clearScans(outCols)
+		if c, ok := q.Limit.(*algebra.Const); ok && !c.Val.Null && float64(c.Val.I) < est {
+			est = float64(c.Val.I)
+		}
 	}
 
 	schema := q.Schema()
-	est := input.est
-	if q.HasAggs {
-		est = est/2 + 1
+	return &planned{node: node, vnode: vnode, kinds: schema.Kinds(), cols: outCols, est: est}, nil
+}
+
+// aggEstimate estimates the group count of an aggregation: the product
+// of the grouping columns' NDVs when statistics cover them, capped by
+// the input cardinality.
+func (p *Planner) aggEstimate(q *algebra.Query, input *planned) float64 {
+	if len(q.GroupBy) == 0 {
+		return 1
 	}
-	return &planned{node: node, vnode: vnode, kinds: schema.Kinds(), est: est}, nil
+	prod := 1.0
+	for _, g := range q.GroupBy {
+		st := p.colStatsFor(input, g)
+		if st == nil {
+			return input.est/2 + 1
+		}
+		d := st.NDV
+		if st.NullFrac > 0 {
+			d++ // NULL forms its own group
+		}
+		if d < 1 {
+			d = 1
+		}
+		prod *= d
+	}
+	if prod > input.est {
+		prod = input.est
+	}
+	if prod < 1 {
+		prod = 1
+	}
+	return prod
 }
 
 // extraSortExprs returns ORDER BY expressions that must be computed as
@@ -297,10 +388,20 @@ func (p *Planner) extraSortExprs(q *algebra.Query) []algebra.Expr {
 // reference the query's own output columns.
 const outputRT = -1
 
-// applySortLimit adds Sort/Limit nodes. outWidth is the real output width;
-// hidden sort columns (if any) sit beyond it and are stripped afterwards.
-// mapExpr optionally rewrites sort expressions (aggregation mapping).
-func (p *Planner) applySortLimit(q *algebra.Query, node exec.Node, outWidth int, _ interface{}) (exec.Node, error) {
+// applySortLimit adds sort/top-N/limit nodes on top of the fragment,
+// staying on the batch engine when the input is vectorized: ORDER BY
+// lowers to VecSort (or, with a LIMIT, to the limit-aware VecTopN heap),
+// a bare LIMIT/OFFSET to VecLimit. outWidth is the real output width;
+// hidden sort columns (if any) sit beyond it and are stripped by a
+// projection above the sort.
+func (p *Planner) applySortLimit(q *algebra.Query, node exec.Node, vnode vexec.Node, outWidth int) (exec.Node, vexec.Node, error) {
+	var count, offset int64 = -1, 0
+	if q.Limit != nil {
+		count = q.Limit.(*algebra.Const).Val.I
+	}
+	if q.Offset != nil {
+		offset = q.Offset.(*algebra.Const).Val.I
+	}
 	if len(q.OrderBy) > 0 {
 		keys := make([]exec.SortKey, 0, len(q.OrderBy))
 		hidden := outWidth
@@ -312,28 +413,57 @@ func (p *Planner) applySortLimit(q *algebra.Query, node exec.Node, outWidth int,
 			keys = append(keys, exec.SortKey{Pos: hidden, Desc: si.Desc})
 			hidden++
 		}
-		node = exec.NewSort(node, keys)
-		if hidden > outWidth {
-			// Strip hidden columns.
-			fns := make([]eval.Func, outWidth)
+		// The hidden-column strip must compile for the batch engine for
+		// the sort to stay vectorized; its inputs are the (already
+		// vectorized) projection outputs, so this only fails on kinds the
+		// pipeline could not have produced.
+		var strip []*vexec.Expr
+		if vnode != nil && hidden > outWidth {
+			kinds := q.Schema().Kinds()
+			exprs := make([]algebra.Expr, outWidth)
 			for i := 0; i < outWidth; i++ {
-				pos := i
-				fns[i] = func(ctx *eval.Ctx) (types.Value, error) { return ctx.Row[pos], nil }
+				exprs[i] = &algebra.Var{RT: flatRT, Col: i, Name: "col", Typ: kinds[i]}
 			}
-			node = exec.NewProject(node, fns)
+			var err error
+			strip, err = vexec.CompileExprs(exprs, &flatBinder{p: p})
+			if err != nil {
+				vnode = nil
+			}
+		}
+		if vnode != nil {
+			if count >= 0 {
+				vnode = vexec.NewVecTopN(vnode, keys, count, offset)
+				count, offset = -1, 0 // the heap applied them
+			} else {
+				vnode = vexec.NewVecSort(vnode, keys)
+			}
+			if strip != nil {
+				vnode = vexec.NewProject(vnode, strip)
+			}
+			node = vexec.NewRowSource(vnode)
+		} else {
+			vnode = nil
+			node = exec.NewSort(node, keys)
+			if hidden > outWidth {
+				// Strip hidden columns.
+				fns := make([]eval.Func, outWidth)
+				for i := 0; i < outWidth; i++ {
+					pos := i
+					fns[i] = func(ctx *eval.Ctx) (types.Value, error) { return ctx.Row[pos], nil }
+				}
+				node = exec.NewProject(node, fns)
+			}
 		}
 	}
-	var count, offset int64 = -1, 0
-	if q.Limit != nil {
-		count = q.Limit.(*algebra.Const).Val.I
-	}
-	if q.Offset != nil {
-		offset = q.Offset.(*algebra.Const).Val.I
-	}
 	if count >= 0 || offset > 0 {
-		node = exec.NewLimit(node, count, offset)
+		if vnode != nil {
+			vnode = vexec.NewVecLimit(vnode, count, offset)
+			node = vexec.NewRowSource(vnode)
+		} else {
+			node = exec.NewLimit(node, count, offset)
+		}
 	}
-	return node, nil
+	return node, vnode, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -386,13 +516,16 @@ func (p *Planner) planFrom(q *algebra.Query) (*planned, error) {
 			if err := p.attachFilter(items[target], c); err != nil {
 				return nil, err
 			}
-			items[target].est *= 0.3
 			continue
 		}
 		remaining = append(remaining, c)
 	}
 
-	// Greedy join ordering: repeatedly join the cheapest connected pair.
+	// Greedy join ordering: repeatedly join the pair with the smallest
+	// estimated output, preferring equi-connected pairs over cross
+	// products. With column statistics the estimate is
+	// |L|·|R| / max(NDV) per join key; without, it falls back to the
+	// max-side heuristic.
 	for len(items) > 1 {
 		bestI, bestJ := -1, -1
 		bestConnected := false
@@ -402,7 +535,7 @@ func (p *Planner) planFrom(q *algebra.Query) (*planned, error) {
 				connected := hasEquiConjunct(remaining, items[i], items[j])
 				cost := items[i].est * items[j].est
 				if connected {
-					cost = maxf(items[i].est, items[j].est)
+					cost = p.equiJoinEstimate(items[i], items[j], remaining)
 				}
 				better := false
 				switch {
@@ -443,7 +576,6 @@ func (p *Planner) planFrom(q *algebra.Query) (*planned, error) {
 		if err := p.attachFilter(result, algebra.AndAll(remaining)); err != nil {
 			return nil, err
 		}
-		result.est *= 0.3
 	}
 	return result, nil
 }
@@ -611,8 +743,14 @@ func equiSides(c algebra.Expr) (left, right algebra.Expr, nullSafe, ok bool) {
 }
 
 // buildJoin joins two fragments with the given condition, choosing a hash
-// join when equi-keys are extractable.
+// join when equi-keys are extractable. For commutable (inner/cross)
+// joins the smaller estimated side becomes the build (right) input — on
+// provenance-rewritten queries this keeps the blown-up side streaming
+// through the probe instead of being materialized in the hash table.
 func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond algebra.Expr) (*planned, error) {
+	if (kind == algebra.JoinInner || kind == algebra.JoinCross) && right.est > left.est {
+		left, right = right, left
+	}
 	combined := &planned{
 		layout: make(map[int]int, len(left.layout)+len(right.layout)),
 		kinds:  append(append([]types.Kind{}, left.kinds...), right.kinds...),
@@ -637,6 +775,22 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 	case algebra.JoinFull:
 		jt = exec.FullJoin
 	}
+
+	// Column provenance: both sides pass through an inner join; the
+	// null-producing side(s) of outer joins lose their runtime-filter
+	// attachment points (pruning below a null-extension could turn a
+	// matched row into a null-extended one and change null-safe joins
+	// above).
+	lc, rc := fragCols(left), fragCols(right)
+	switch jt {
+	case exec.LeftJoin:
+		rc = clearScans(rc)
+	case exec.RightJoin:
+		lc = clearScans(lc)
+	case exec.FullJoin:
+		lc, rc = clearScans(lc), clearScans(rc)
+	}
+	combined.cols = append(append([]colInfo{}, lc...), rc...)
 
 	// Try to extract equi-keys for a hash join.
 	var leftKeyExprs, rightKeyExprs []algebra.Expr
@@ -664,6 +818,7 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 
 	combinedBinder := &rowBinder{p: p, layout: combined.layout}
 	if len(leftKeyExprs) > 0 {
+		est := p.hashJoinEstimate(left, right, leftKeyExprs, rightKeyExprs)
 		// Vectorized hash join: inner and left joins whose key (and, for
 		// inner joins, residual) expressions compile for the batch engine.
 		// An inner-join residual becomes a vectorized filter above the
@@ -673,7 +828,7 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 			(jt == exec.InnerJoin || (jt == exec.LeftJoin && len(residual) == 0)) {
 			if vj := p.tryVecHashJoin(left, right, leftKeyExprs, rightKeyExprs, nullSafe, residual, jt, combined); vj != nil {
 				p.setVNode(combined, vj)
-				combined.est = maxf(left.est, right.est)
+				combined.est = est
 				return combined, nil
 			}
 		}
@@ -698,10 +853,36 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 			}
 		}
 		combined.node = exec.NewHashJoin(left.node, right.node, lk, rk, nullSafe, res, jt, left.kinds, right.kinds)
-		combined.est = maxf(left.est, right.est)
+		combined.est = est
 		return combined, nil
 	}
 
+	// No equi-keys: nested-loop join. The vectorized variant covers inner
+	// and left joins (the condition takes part in the match decision, so
+	// arbitrary residuals are fine) and assembles pair batches by gather
+	// instead of boxing one row per pair.
+	if p.vectorized && left.vnode != nil && right.vnode != nil &&
+		(jt == exec.InnerJoin || jt == exec.LeftJoin) {
+		var vcond *vexec.Expr
+		condOK := cond == nil
+		if cond != nil {
+			if ve, err := vexec.CompileExpr(cond, combinedBinder); err == nil && ve.Kind() == types.KindBool {
+				vcond, condOK = ve, true
+			}
+		}
+		if condOK {
+			vjt := vexec.InnerJoin
+			if jt == exec.LeftJoin {
+				vjt = vexec.LeftJoin
+			}
+			p.setVNode(combined, vexec.NewNLJoin(left.vnode, right.vnode, vcond, vjt, left.kinds, right.kinds))
+			combined.est = left.est * right.est
+			if cond != nil {
+				combined.est = combined.est*0.3 + 1
+			}
+			return combined, nil
+		}
+	}
 	demote(left)
 	demote(right)
 	var condFn eval.Func
@@ -720,22 +901,238 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 	return combined, nil
 }
 
+// hashJoinEstimate estimates a hash join's output cardinality from key
+// statistics: |L|·|R| / max(NDV_l, NDV_r) per key pair when both sides'
+// sketches are known, the max-side heuristic otherwise.
+func (p *Planner) hashJoinEstimate(left, right *planned, leftKeys, rightKeys []algebra.Expr) float64 {
+	sel := 1.0
+	known := false
+	for k := range leftKeys {
+		ls, rs := p.colStatsFor(left, leftKeys[k]), p.colStatsFor(right, rightKeys[k])
+		if ls == nil || rs == nil {
+			continue
+		}
+		if d := maxf(ls.NDV, rs.NDV); d > 1 {
+			sel /= d
+			known = true
+		}
+	}
+	if !known {
+		return maxf(left.est, right.est)
+	}
+	return maxf(left.est*right.est*sel, 1)
+}
+
+// equiJoinEstimate estimates the join size of two fragments connected by
+// the equi-conjuncts found in the pool (greedy-ordering cost).
+func (p *Planner) equiJoinEstimate(a, b *planned, conjuncts []algebra.Expr) float64 {
+	var aKeys, bKeys []algebra.Expr
+	for _, c := range conjuncts {
+		l, r, _, ok := equiSides(c)
+		if !ok {
+			continue
+		}
+		lu, ru := algebra.VarsUsed(l), algebra.VarsUsed(r)
+		if len(lu) == 0 || len(ru) == 0 {
+			continue
+		}
+		switch {
+		case subset(lu, a.rts) && subset(ru, b.rts):
+			aKeys, bKeys = append(aKeys, l), append(bKeys, r)
+		case subset(lu, b.rts) && subset(ru, a.rts):
+			aKeys, bKeys = append(aKeys, r), append(bKeys, l)
+		}
+	}
+	return p.hashJoinEstimate(a, b, aKeys, bKeys)
+}
+
+// colStatsFor resolves an expression to the statistics of the fragment
+// column it references (bare column references only).
+func (p *Planner) colStatsFor(pl *planned, e algebra.Expr) *catalog.ColStats {
+	v, ok := e.(*algebra.Var)
+	if !ok || v.RT < 0 || pl.cols == nil {
+		return nil
+	}
+	off, ok := pl.layout[v.RT]
+	if !ok || off+v.Col >= len(pl.cols) {
+		return nil
+	}
+	return pl.cols[off+v.Col].stats
+}
+
+// selectivity estimates the fraction of the fragment's rows a predicate
+// keeps, multiplying per-conjunct estimates: equality against a constant
+// uses 1/NDV, ranges interpolate against the column's min/max sketch,
+// and shapes the statistics cannot see fall back to the classic
+// magic constants.
+func (p *Planner) selectivity(e algebra.Expr, pl *planned) float64 {
+	s := 1.0
+	for _, c := range algebra.Conjuncts(e) {
+		s *= p.selOne(c, pl)
+	}
+	return clampSel(s)
+}
+
+func clampSel(s float64) float64 {
+	switch {
+	case s < 1e-4:
+		return 1e-4
+	case s > 1:
+		return 1
+	}
+	return s
+}
+
+func (p *Planner) selOne(c algebra.Expr, pl *planned) float64 {
+	switch n := c.(type) {
+	case *algebra.Const:
+		if !n.Val.Null && n.Val.K == types.KindBool && !n.Val.B {
+			return 1e-4 // constant FALSE
+		}
+		return 1
+	case *algebra.BinOp:
+		switch n.Op {
+		case "AND":
+			return clampSel(p.selOne(n.Left, pl) * p.selOne(n.Right, pl))
+		case "OR":
+			a, b := p.selOne(n.Left, pl), p.selOne(n.Right, pl)
+			return clampSel(a + b - a*b)
+		case "=":
+			if st, _, ok := p.varConstSide(n.Left, n.Right, pl); ok && st.NDV >= 1 {
+				return clampSel(1 / st.NDV)
+			}
+			ls, rs := p.colStatsFor(pl, n.Left), p.colStatsFor(pl, n.Right)
+			if ls != nil && rs != nil {
+				if d := maxf(ls.NDV, rs.NDV); d >= 1 {
+					return clampSel(1 / d)
+				}
+			}
+			return 0.1
+		case "<>":
+			return 0.9
+		case "<", "<=", ">", ">=":
+			return p.rangeSel(n, pl)
+		case "LIKE":
+			return 0.25
+		}
+		return 0.3
+	case *algebra.UnOp:
+		if n.Op == "NOT" {
+			return clampSel(1 - p.selOne(n.Expr, pl))
+		}
+		return 0.3
+	case *algebra.IsNull:
+		frac := 0.05
+		if st := p.colStatsFor(pl, n.Expr); st != nil {
+			frac = st.NullFrac
+		}
+		if n.Not {
+			return clampSel(1 - frac)
+		}
+		return clampSel(frac)
+	case *algebra.DistinctFrom:
+		if n.Not { // null-safe equality
+			if st := p.colStatsFor(pl, n.Left); st != nil && st.NDV >= 1 {
+				return clampSel(1 / st.NDV)
+			}
+			if st := p.colStatsFor(pl, n.Right); st != nil && st.NDV >= 1 {
+				return clampSel(1 / st.NDV)
+			}
+			return 0.1
+		}
+		return 0.9
+	default:
+		return 0.3
+	}
+}
+
+// varConstSide matches a (column, constant) operand pair in either order
+// and returns the column's statistics plus the folded constant.
+func (p *Planner) varConstSide(a, b algebra.Expr, pl *planned) (*catalog.ColStats, types.Value, bool) {
+	if st := p.colStatsFor(pl, a); st != nil {
+		if v, ok := constValue(b); ok {
+			return st, v, true
+		}
+	}
+	if st := p.colStatsFor(pl, b); st != nil {
+		if v, ok := constValue(a); ok {
+			return st, v, true
+		}
+	}
+	return nil, types.NullValue, false
+}
+
+// rangeSel interpolates a range predicate's selectivity within the
+// column's [min, max] sketch.
+func (p *Planner) rangeSel(n *algebra.BinOp, pl *planned) float64 {
+	st := p.colStatsFor(pl, n.Left)
+	op := n.Op
+	var cv types.Value
+	var ok bool
+	if st != nil {
+		cv, ok = constValue(n.Right)
+	} else if st = p.colStatsFor(pl, n.Right); st != nil {
+		// Flip the comparison so the column is on the left.
+		if cv, ok = constValue(n.Left); ok {
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			}
+		}
+	}
+	if st == nil || !ok || !st.HasRange || cv.Null || !cv.K.Numeric() && cv.K != types.KindDate {
+		return 0.3
+	}
+	v := cv.AsFloat()
+	width := st.MaxF - st.MinF
+	if width <= 0 {
+		if (op == "<" || op == "<=") == (v >= st.MinF) || v == st.MinF {
+			return 0.5
+		}
+		return 0.3
+	}
+	var frac float64
+	switch op {
+	case "<", "<=":
+		frac = (v - st.MinF) / width
+	default: // ">", ">="
+		frac = (st.MaxF - v) / width
+	}
+	return clampSel(frac * (1 - st.NullFrac))
+}
+
+// constValue folds a constant-only expression (including the date ±
+// interval arithmetic TPC-H predicates carry) to its value, sharing the
+// vectorized compiler's folding semantics.
+func constValue(e algebra.Expr) (types.Value, bool) {
+	return algebra.FoldConst(e)
+}
+
 // tryVecHashJoin compiles the hash-join keys (and an inner join's
 // residual) for the batch engine and returns the vectorized join tree,
-// or nil when some expression is not vectorizable.
+// or nil when some expression is not vectorizable. For inner joins it
+// also wires runtime filters: every key whose probe-side expression is a
+// bare column traced to a columnar scan gets a filter published by this
+// join's build and applied by that scan.
 func (p *Planner) tryVecHashJoin(left, right *planned, leftKeyExprs, rightKeyExprs []algebra.Expr,
 	nullSafe []bool, residual []algebra.Expr, jt exec.JoinType, combined *planned) vexec.Node {
-	lk, err := vexec.CompileExprs(leftKeyExprs, layoutVarBinder(left.layout))
+	lk, err := vexec.CompileExprs(leftKeyExprs, &rowBinder{p: p, layout: left.layout})
 	if err != nil {
 		return nil
 	}
-	rk, err := vexec.CompileExprs(rightKeyExprs, layoutVarBinder(shiftedLayout(right.layout, 0)))
+	rk, err := vexec.CompileExprs(rightKeyExprs, &rowBinder{p: p, layout: shiftedLayout(right.layout, 0)})
 	if err != nil {
 		return nil
 	}
 	var res *vexec.Expr
 	if len(residual) > 0 {
-		res, err = vexec.CompileExpr(algebra.AndAll(residual), layoutVarBinder(combined.layout))
+		res, err = vexec.CompileExpr(algebra.AndAll(residual), &rowBinder{p: p, layout: combined.layout})
 		if err != nil || res.Kind() != types.KindBool {
 			return nil
 		}
@@ -744,7 +1141,34 @@ func (p *Planner) tryVecHashJoin(left, right *planned, leftKeyExprs, rightKeyExp
 	if jt == exec.LeftJoin {
 		vjt = vexec.LeftJoin
 	}
-	var vn vexec.Node = vexec.NewHashJoin(left.vnode, right.vnode, lk, rk, nullSafe, vjt, left.kinds, right.kinds)
+	vj := vexec.NewHashJoin(left.vnode, right.vnode, lk, rk, nullSafe, vjt, left.kinds, right.kinds)
+	if vjt == vexec.InnerJoin && left.cols != nil {
+		// Left-join probe rows must survive to null-extend, so only inner
+		// joins may prune them at the source.
+		var publish []*vexec.RuntimeFilter
+		for k, le := range leftKeyExprs {
+			v, ok := le.(*algebra.Var)
+			if !ok || v.RT < 0 {
+				continue
+			}
+			off, ok := left.layout[v.RT]
+			if !ok || off+v.Col >= len(left.cols) {
+				continue
+			}
+			origin := left.cols[off+v.Col]
+			if origin.scan == nil {
+				continue
+			}
+			if publish == nil {
+				publish = make([]*vexec.RuntimeFilter, len(leftKeyExprs))
+			}
+			rf := vexec.NewRuntimeFilter(nullSafe[k])
+			origin.scan.AddRuntimeFilter(rf, origin.scanCol)
+			publish[k] = rf
+		}
+		vj.Publish = publish
+	}
+	var vn vexec.Node = vj
 	if res != nil {
 		vn = vexec.NewFilter(vn, res)
 	}
@@ -788,6 +1212,45 @@ func (cp *conjPool) take(rts map[int]bool) []algebra.Expr {
 	return taken
 }
 
+// takeSublinks removes and returns the sublink-bearing conjuncts fully
+// answerable by the given range-table entry set, provided every sublink
+// in them is a scalar or EXISTS form. Those forms are uncorrelated and
+// materialize to a single cached value wherever the filter lands, so
+// sinking them is free per row — and placing them deep prunes join
+// inputs early. TPC-H Q15's provenance rewrite is the extreme case: its
+// max-revenue filter lands under a cross-shaped outer join, where
+// evaluating it before the join shrinks the preserved side by orders of
+// magnitude. Quantified (ANY/ALL) sublinks compare against every
+// subquery row per input row, so they stay high where the input is
+// smallest.
+func (cp *conjPool) takeSublinks(rts map[int]bool) []algebra.Expr {
+	var taken, rest []algebra.Expr
+	for _, c := range cp.conjs {
+		used := algebra.VarsUsed(c)
+		if len(used) > 0 && subset(used, rts) && algebra.ContainsSubLink(c) && onlyCheapSublinks(c) {
+			taken = append(taken, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	cp.conjs = rest
+	return taken
+}
+
+// onlyCheapSublinks reports whether every sublink in the expression is a
+// scalar or EXISTS sublink (constant once materialized).
+func onlyCheapSublinks(e algebra.Expr) bool {
+	ok := true
+	algebra.WalkExpr(e, func(x algebra.Expr) {
+		if sl, isSub := x.(*algebra.SubLink); isSub {
+			if sl.Kind != algebra.SubScalar && sl.Kind != algebra.SubExists {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
 // planFromItem plans one FROM item, pushing applicable pool conjuncts
 // down to scans and into inner-join conditions along the way.
 func (p *Planner) planFromItem(fi algebra.FromItem, q *algebra.Query, pool *conjPool) (*planned, error) {
@@ -801,7 +1264,14 @@ func (p *Planner) planFromItem(fi algebra.FromItem, q *algebra.Query, pool *conj
 			if err := p.attachFilter(pl, algebra.AndAll(taken)); err != nil {
 				return nil, err
 			}
-			pl.est *= 0.3
+		}
+		// Scalar/EXISTS sublink conjuncts local to this entry sink all
+		// the way down too: the subplan materializes once regardless of
+		// placement, and filtering here prunes every join above.
+		if taken := pool.takeSublinks(pl.rts); len(taken) > 0 {
+			if err := p.attachFilter(pl, algebra.AndAll(taken)); err != nil {
+				return nil, err
+			}
 		}
 		return pl, nil
 	case *algebra.FromJoin:
@@ -845,7 +1315,19 @@ func (p *Planner) planJoinItem(n *algebra.FromJoin, q *algebra.Query, pool *conj
 			return nil, err
 		}
 		taken := pool.take(unionSets(left.rts, right.rts))
-		return p.buildJoin(left, right, n.Kind, algebra.AndAll(append(keep, taken...)))
+		joined, err := p.buildJoin(left, right, n.Kind, algebra.AndAll(append(keep, taken...)))
+		if err != nil {
+			return nil, err
+		}
+		// Sublink conjuncts answerable by this join land here rather than
+		// at the top of the whole FROM clause, below any enclosing outer
+		// joins.
+		if taken := pool.takeSublinks(joined.rts); len(taken) > 0 {
+			if err := p.attachFilter(joined, algebra.AndAll(taken)); err != nil {
+				return nil, err
+			}
+		}
+		return joined, nil
 	}
 
 	var nullable algebra.FromItem
@@ -886,6 +1368,24 @@ func (p *Planner) planJoinItem(n *algebra.FromJoin, q *algebra.Query, pool *conj
 	if err != nil {
 		return nil, err
 	}
+	// WHERE conjuncts with sublinks sink onto the preserved side like any
+	// other preserved-side conjunct (rows they reject are removed whether
+	// the filter runs before or after the join, and null-extension only
+	// depends on preserved rows that survive either way).
+	switch n.Kind {
+	case algebra.JoinLeft:
+		if taken := pool.takeSublinks(left.rts); len(taken) > 0 {
+			if err := p.attachFilter(left, algebra.AndAll(taken)); err != nil {
+				return nil, err
+			}
+		}
+	case algebra.JoinRight:
+		if taken := pool.takeSublinks(right.rts); len(taken) > 0 {
+			if err := p.attachFilter(right, algebra.AndAll(taken)); err != nil {
+				return nil, err
+			}
+		}
+	}
 	// Conjuncts the nullable side could not absorb return to the condition.
 	keep = append(keep, nullPool.conjs...)
 	nullPool.conjs = nil
@@ -900,17 +1400,35 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 			return nil, fmt.Errorf("plan: table %q disappeared", rte.RelName)
 		}
 		kinds := rte.Cols.Kinds()
+		// Per-column statistics drive selectivity and join-order
+		// estimates; they are recomputed lazily behind the heap version.
+		st := t.Stats()
+		mkCols := func() []colInfo {
+			infos := make([]colInfo, len(kinds))
+			for i := range infos {
+				if i < len(st.Cols) {
+					infos[i].stats = &st.Cols[i]
+				}
+			}
+			return infos
+		}
 		if p.vectorized {
 			if cols, n, ok := t.Heap.SnapshotColumns(kinds); ok {
 				heap := t.Heap
+				scan := vexec.NewColScan(cols, n)
+				infos := mkCols()
+				for i := range infos {
+					infos[i].scan, infos[i].scanCol = scan, i
+				}
 				pl := &planned{
 					layout:  map[int]int{rt: 0},
 					kinds:   kinds,
+					cols:    infos,
 					rts:     map[int]bool{rt: true},
 					est:     float64(n) + 1,
 					rowScan: func() exec.Node { return exec.NewScan(heap.Snapshot()) },
 				}
-				p.setVNode(pl, vexec.NewColScan(cols, n))
+				p.setVNode(pl, scan)
 				return pl, nil
 			}
 		}
@@ -919,6 +1437,7 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 			node:   exec.NewScan(rows),
 			layout: map[int]int{rt: 0},
 			kinds:  kinds,
+			cols:   mkCols(),
 			rts:    map[int]bool{rt: true},
 			est:    float64(len(rows)) + 1,
 		}, nil
@@ -927,11 +1446,19 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The subquery's output columns map one-to-one onto this entry's
+		// columns, so its column provenance (and thus runtime-filter
+		// reach and statistics) passes through the boundary.
+		var infos []colInfo
+		if sub.cols != nil && len(sub.cols) == len(rte.Cols.Kinds()) {
+			infos = sub.cols
+		}
 		return &planned{
 			node:   sub.node,
 			vnode:  sub.vnode,
 			layout: map[int]int{rt: 0},
 			kinds:  rte.Cols.Kinds(),
+			cols:   infos,
 			rts:    map[int]bool{rt: true},
 			est:    sub.est,
 		}, nil
@@ -1059,7 +1586,7 @@ func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, 
 		}
 		attached := false
 		if vnode != nil {
-			if ve, verr := vexec.CompileExpr(mapped, flatVarBinder); verr == nil && ve.Kind() == types.KindBool {
+			if ve, verr := vexec.CompileExpr(mapped, &flatBinder{p: p}); verr == nil && ve.Kind() == types.KindBool {
 				vnode = vexec.NewFilter(vnode, ve)
 				node = vexec.NewRowSource(vnode)
 				attached = true
@@ -1091,7 +1618,7 @@ func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, 
 		exprs = append(exprs, mapped)
 	}
 	if vnode != nil {
-		if ves, verr := vexec.CompileExprs(exprs, flatVarBinder); verr == nil {
+		if ves, verr := vexec.CompileExprs(exprs, &flatBinder{p: p}); verr == nil {
 			vnode = vexec.NewProject(vnode, ves)
 			return vexec.NewRowSource(vnode), vnode, nil
 		}
@@ -1108,7 +1635,7 @@ func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, 
 // aggregates, and aggregate kinds the columnar accumulators cover.
 // Returns nil when the row engine must aggregate instead.
 func (p *Planner) tryVecAgg(q *algebra.Query, input *planned, aggRefs []*algebra.AggRef) vexec.Node {
-	bind := layoutVarBinder(input.layout)
+	bind := &rowBinder{p: p, layout: input.layout}
 	groups, err := vexec.CompileExprs(q.GroupBy, bind)
 	if err != nil {
 		return nil
@@ -1514,7 +2041,11 @@ func explainVNode(n vexec.Node, depth int, out *[]byte) {
 	*out = append(*out, indent...)
 	switch x := n.(type) {
 	case *vexec.ColScan:
-		*out = append(*out, fmt.Sprintf("VecScan (%d rows)\n", x.NumRows)...)
+		if x.HasRuntimeFilters() {
+			*out = append(*out, fmt.Sprintf("VecScan (%d rows, RuntimeFilter)\n", x.NumRows)...)
+		} else {
+			*out = append(*out, fmt.Sprintf("VecScan (%d rows)\n", x.NumRows)...)
+		}
 	case *vexec.Filter:
 		*out = append(*out, "VecFilter\n"...)
 		explainVNode(x.Input, depth+1, out)
@@ -1522,12 +2053,36 @@ func explainVNode(n vexec.Node, depth int, out *[]byte) {
 		*out = append(*out, fmt.Sprintf("VecProject (%d cols)\n", len(x.Exprs))...)
 		explainVNode(x.Input, depth+1, out)
 	case *vexec.HashJoin:
-		*out = append(*out, fmt.Sprintf("VecHashJoin (%s, %d keys)\n", vecJoinName(x.Type), len(x.LeftKeys))...)
+		if x.PublishesFilters() {
+			*out = append(*out, fmt.Sprintf("VecHashJoin (%s, %d keys, RuntimeFilter)\n", vecJoinName(x.Type), len(x.LeftKeys))...)
+		} else {
+			*out = append(*out, fmt.Sprintf("VecHashJoin (%s, %d keys)\n", vecJoinName(x.Type), len(x.LeftKeys))...)
+		}
+		explainVNode(x.Left, depth+1, out)
+		explainVNode(x.Right, depth+1, out)
+	case *vexec.NLJoin:
+		*out = append(*out, fmt.Sprintf("VecNestedLoopJoin (%s)\n", vecJoinName(x.Type))...)
 		explainVNode(x.Left, depth+1, out)
 		explainVNode(x.Right, depth+1, out)
 	case *vexec.HashAgg:
 		*out = append(*out, fmt.Sprintf("VecHashAggregate (%d groups, %d aggs)\n", len(x.Groups), len(x.Aggs))...)
 		explainVNode(x.Input, depth+1, out)
+	case *vexec.VecSort:
+		*out = append(*out, fmt.Sprintf("VecSort (%d keys)\n", len(x.Keys))...)
+		explainVNode(x.Input, depth+1, out)
+	case *vexec.VecTopN:
+		*out = append(*out, fmt.Sprintf("VecTopN (%d keys, keep %d)\n", len(x.Keys), x.Offset+x.Count)...)
+		explainVNode(x.Input, depth+1, out)
+	case *vexec.VecLimit:
+		*out = append(*out, "VecLimit\n"...)
+		explainVNode(x.Input, depth+1, out)
+	case *vexec.VecDistinct:
+		*out = append(*out, "VecDistinct\n"...)
+		explainVNode(x.Input, depth+1, out)
+	case *vexec.VecSetOp:
+		*out = append(*out, fmt.Sprintf("VecSetOp (%s, all=%v)\n", setOpName(x.Kind), x.All)...)
+		explainVNode(x.Left, depth+1, out)
+		explainVNode(x.Right, depth+1, out)
 	default:
 		*out = append(*out, fmt.Sprintf("%T\n", n)...)
 	}

@@ -221,9 +221,10 @@ func TestJoinTreeConjunctRouting(t *testing.T) {
 	if !strings.Contains(out, "HashJoin") {
 		t.Fatalf("inner ON equality should hash-join:\n%s", out)
 	}
-	// Both single-table predicates must appear below the join.
+	// Both single-table predicates must appear below the join
+	// ("Filter\n" matches the filter nodes but not RuntimeFilter labels).
 	joinIdx := strings.Index(out, "HashJoin")
-	if strings.Count(out[joinIdx:], "Filter") != 2 {
+	if strings.Count(out[joinIdx:], "Filter\n") != 2 {
 		t.Errorf("want both filters pushed below the join:\n%s", out)
 	}
 }

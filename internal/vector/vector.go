@@ -7,6 +7,8 @@
 package vector
 
 import (
+	"sync"
+
 	"perm/internal/types"
 )
 
@@ -73,6 +75,11 @@ type Vec struct {
 	F     []float64
 	B     []bool
 	S     []string
+
+	// pooled marks a batch-sized vector obtained from the shared buffer
+	// pool (NewBatchVec); Free returns such vectors for reuse and is a
+	// no-op on everything else.
+	pooled bool
 }
 
 // NewVec returns a vector of kind k with capacity for n rows, all
@@ -91,6 +98,96 @@ func NewVec(k types.Kind, n int) *Vec {
 	}
 	return v
 }
+
+// ---------------------------------------------------------------------------
+// Batch-buffer pool
+//
+// The vectorized operators allocate one result vector per expression per
+// batch. Those vectors are short-lived — a kernel result is consumed by
+// its parent within the same Next call, and an operator's output batch is
+// abandoned by its consumer before the next Next call — so recycling them
+// through a sync.Pool removes the dominant per-batch allocations from the
+// hot path. Vectors whose lifetime is not batch-bounded (snapshot
+// columns, windows, accumulators, constant caches) are allocated with
+// NewVec and are never pooled.
+
+// poolClass maps a kind to its payload pool (int and date share I).
+func poolClass(k types.Kind) int {
+	switch k {
+	case types.KindBool:
+		return 0
+	case types.KindInt, types.KindDate:
+		return 1
+	case types.KindFloat:
+		return 2
+	case types.KindString:
+		return 3
+	default:
+		return -1
+	}
+}
+
+var vecPools [4]sync.Pool
+
+// NewBatchVec returns a vector of kind k with n rows (n ≤ BatchSize),
+// all initially non-NULL, drawn from the shared buffer pool when
+// possible. The caller owns the vector; pass it to Free when its batch
+// is done, or leave it for the garbage collector (Free is optional).
+func NewBatchVec(k types.Kind, n int) *Vec {
+	cls := poolClass(k)
+	if cls < 0 || n > BatchSize {
+		return NewVec(k, n)
+	}
+	v, _ := vecPools[cls].Get().(*Vec)
+	if v == nil {
+		v = NewVec(k, BatchSize)
+	}
+	v.Kind = k // int and date share a pool
+	for w := range v.Nulls {
+		v.Nulls[w] = 0
+	}
+	switch cls {
+	case 0:
+		v.B = v.B[:n]
+	case 1:
+		v.I = v.I[:n]
+	case 2:
+		v.F = v.F[:n]
+	case 3:
+		v.S = v.S[:n]
+	}
+	v.pooled = true
+	return v
+}
+
+// Free returns a pooled vector to the shared buffer pool. It is a no-op
+// for vectors that did not come from NewBatchVec, so callers may pass any
+// vector whose batch lifetime has ended without tracking provenance.
+// String payloads are kept as-is (the next user overwrites its lanes);
+// the retained string references die with normal pool churn.
+func (v *Vec) Free() {
+	if v == nil || !v.pooled {
+		return
+	}
+	v.pooled = false
+	cls := poolClass(v.Kind)
+	switch cls {
+	case 0:
+		v.B = v.B[:cap(v.B)]
+	case 1:
+		v.I = v.I[:cap(v.I)]
+	case 2:
+		v.F = v.F[:cap(v.F)]
+	case 3:
+		v.S = v.S[:cap(v.S)]
+	}
+	vecPools[cls].Put(v)
+}
+
+// Unpool detaches the vector from the buffer pool (subsequent Free calls
+// are no-ops). Operators call it when a pooled vector escapes into a
+// structure that outlives its batch.
+func (v *Vec) Unpool() { v.pooled = false }
 
 // Len returns the number of rows in the vector.
 func (v *Vec) Len() int {
@@ -182,6 +279,46 @@ func (v *Vec) AppendFrom(src *Vec, i int) {
 	}
 }
 
+// AppendLanes appends the src rows listed in lanes to the end of the
+// vector (kinds must match). It is the bulk form of AppendFrom used by
+// materializing operators (sort, set ops, hash-join build) to compact
+// live batch lanes into growable accumulator columns: the payload
+// extends in one monomorphic loop and the null bitmap is only walked
+// when the source window actually carries NULLs.
+func (v *Vec) AppendLanes(src *Vec, lanes []int) {
+	n := v.Len()
+	switch v.Kind {
+	case types.KindBool:
+		for _, i := range lanes {
+			v.B = append(v.B, src.B[i])
+		}
+	case types.KindInt, types.KindDate:
+		for _, i := range lanes {
+			v.I = append(v.I, src.I[i])
+		}
+	case types.KindFloat:
+		for _, i := range lanes {
+			v.F = append(v.F, src.F[i])
+		}
+	case types.KindString:
+		for _, i := range lanes {
+			v.S = append(v.S, src.S[i])
+		}
+	}
+	for need := (n + len(lanes) + 63) >> 6; len(v.Nulls) < need; {
+		v.Nulls = append(v.Nulls, 0)
+	}
+	// AnySet masks bits beyond the window length, so shared trailing
+	// words of a parent vector cannot defeat the null-free fast path.
+	if src.Nulls.AnySet(src.Len()) {
+		for o, i := range lanes {
+			if src.Nulls.Get(i) {
+				v.Nulls.Set(n + o)
+			}
+		}
+	}
+}
+
 // CopyLanes copies the src rows listed in lanes into this vector
 // starting at position at (which must leave room for len(lanes) rows).
 // Kinds must match.
@@ -215,7 +352,17 @@ func (v *Vec) CopyLanes(at int, src *Vec, lanes []int) {
 // of kind k (src's kind, or a compatible one for all-NULL gathers). A
 // negative index produces a NULL row (outer-join null extension).
 func Gather(src *Vec, idx []int32, k types.Kind) *Vec {
-	out := NewVec(k, len(idx))
+	return gatherInto(NewVec(k, len(idx)), src, idx, k)
+}
+
+// GatherBatch is Gather drawing its output from the batch-buffer pool
+// (len(idx) ≤ BatchSize); the caller owns the result and may Free it
+// once the emitted batch has been abandoned by its consumer.
+func GatherBatch(src *Vec, idx []int32, k types.Kind) *Vec {
+	return gatherInto(NewBatchVec(k, len(idx)), src, idx, k)
+}
+
+func gatherInto(out *Vec, src *Vec, idx []int32, k types.Kind) *Vec {
 	for o, i := range idx {
 		if i < 0 || src.Nulls.Get(int(i)) {
 			out.Nulls.Set(o)
@@ -239,10 +386,19 @@ func Gather(src *Vec, idx []int32, k types.Kind) *Vec {
 // arrays. lo must be a multiple of 64 so the null bitmap slices cleanly;
 // batch windows at BatchSize boundaries always satisfy this.
 func (v *Vec) Window(lo, hi int) *Vec {
+	w := &Vec{}
+	v.WindowInto(lo, hi, w)
+	return w
+}
+
+// WindowInto points w (an existing, reusable Vec struct) at rows
+// [lo, hi) of v, sharing the backing arrays. Scans use it to avoid one
+// allocation per column per batch.
+func (v *Vec) WindowInto(lo, hi int, w *Vec) {
 	if lo&63 != 0 {
 		panic("vector: window start must be a multiple of 64")
 	}
-	w := &Vec{Kind: v.Kind}
+	*w = Vec{Kind: v.Kind}
 	wordLo := lo >> 6
 	wordHi := (hi + 63) >> 6
 	if wordHi > len(v.Nulls) {
@@ -261,7 +417,6 @@ func (v *Vec) Window(lo, hi int) *Vec {
 	case types.KindString:
 		w.S = v.S[lo:hi]
 	}
-	return w
 }
 
 // FromRows pivots rows into column vectors of the given kinds. It

@@ -1,8 +1,15 @@
 // Vectorized expression compilation. The compiler covers the common
 // arithmetic/comparison/boolean shapes the provenance-rewritten workloads
-// consist of; anything else (CASE, casts, function calls, sublinks,
-// interval arithmetic, untyped NULLs) returns an error and the planner
-// falls back to the row engine for that plan subtree.
+// consist of, plus uncorrelated scalar/EXISTS sublinks (evaluated once
+// and broadcast); anything else (CASE, casts, function calls, quantified
+// sublinks, interval arithmetic, untyped NULLs) returns an error and the
+// planner falls back to the row engine for that plan subtree.
+//
+// Result-vector ownership: kernels allocate their outputs from the shared
+// batch-buffer pool (vector.NewBatchVec) and free the intermediates they
+// consumed. Var, Const and SubLink results are aliasing — they reference
+// batch columns or caches shared across calls — and are never freed;
+// Expr.FreeResult encapsulates the distinction for operators.
 package vexec
 
 import (
@@ -16,10 +23,6 @@ import (
 	"perm/internal/vector"
 )
 
-// VarBinder resolves a column reference to its flat position in the
-// batch (the same position the row engine would use in a types.Row).
-type VarBinder func(v *algebra.Var) (int, error)
-
 // exprFn evaluates an expression over the physical batch rows listed in
 // sel (nil = all rows 0..b.N-1). The result vector is defined at exactly
 // those positions; other lanes hold unspecified values.
@@ -29,10 +32,23 @@ type exprFn func(b *vector.Batch, sel []int) (*vector.Vec, error)
 type Expr struct {
 	fn   exprFn
 	kind types.Kind
+	// aliasing marks expressions whose result vector is shared (a batch
+	// column, a constant cache, a sublink broadcast) rather than freshly
+	// allocated per evaluation. Consumers must not free aliasing results.
+	aliasing bool
 }
 
 // Kind returns the static result kind of the expression.
 func (e *Expr) Kind() types.Kind { return e.kind }
+
+// FreeResult returns an evaluation result to the batch-buffer pool, if
+// this expression owns its results. Callers invoke it once they are done
+// reading the vector (and never after placing it in an emitted batch).
+func (e *Expr) FreeResult(v *vector.Vec) {
+	if !e.aliasing {
+		v.Free()
+	}
+}
 
 var errUnsupported = fmt.Errorf("vexec: expression shape not vectorizable")
 
@@ -56,8 +72,9 @@ func resolveSel(b *vector.Batch, sel []int) []int {
 
 // CompileExpr compiles an analyzed expression for vectorized evaluation.
 // An error means the shape is not supported and the caller must stay on
-// the row engine.
-func CompileExpr(e algebra.Expr, bind VarBinder) (*Expr, error) {
+// the row engine. The binder resolves column references to flat batch
+// positions and sublinks to their (lazily materialized) subplans.
+func CompileExpr(e algebra.Expr, bind eval.Binder) (*Expr, error) {
 	switch n := e.(type) {
 	case *algebra.Var:
 		return compileVar(n, bind)
@@ -71,6 +88,8 @@ func CompileExpr(e algebra.Expr, bind VarBinder) (*Expr, error) {
 		return compileIsNull(n, bind)
 	case *algebra.DistinctFrom:
 		return compileDistinctFrom(n, bind)
+	case *algebra.SubLink:
+		return compileSubLink(n, bind)
 	default:
 		return nil, errUnsupported
 	}
@@ -78,7 +97,7 @@ func CompileExpr(e algebra.Expr, bind VarBinder) (*Expr, error) {
 
 // CompileExprs compiles a slice of expressions; it fails if any one of
 // them is unsupported.
-func CompileExprs(es []algebra.Expr, bind VarBinder) ([]*Expr, error) {
+func CompileExprs(es []algebra.Expr, bind eval.Binder) ([]*Expr, error) {
 	out := make([]*Expr, len(es))
 	for i, e := range es {
 		c, err := CompileExpr(e, bind)
@@ -90,11 +109,11 @@ func CompileExprs(es []algebra.Expr, bind VarBinder) ([]*Expr, error) {
 	return out, nil
 }
 
-func compileVar(n *algebra.Var, bind VarBinder) (*Expr, error) {
+func compileVar(n *algebra.Var, bind eval.Binder) (*Expr, error) {
 	if !vector.Supported(n.Typ) {
 		return nil, errUnsupported
 	}
-	pos, err := bind(n)
+	pos, err := bind.BindVar(n)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +124,7 @@ func compileVar(n *algebra.Var, bind VarBinder) (*Expr, error) {
 		}
 		return b.Cols[pos], nil
 	}
-	return &Expr{fn: fn, kind: kind}, nil
+	return &Expr{fn: fn, kind: kind, aliasing: true}, nil
 }
 
 func compileConst(n *algebra.Const) (*Expr, error) {
@@ -116,35 +135,86 @@ func compileConst(n *algebra.Const) (*Expr, error) {
 	var cache *vector.Vec
 	fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
 		if cache == nil || cache.Len() < b.N {
-			cache = broadcast(val, b.N)
+			cache = broadcast(val, val.K, b.N)
 		}
 		return cache, nil
 	}
-	return &Expr{fn: fn, kind: val.K}, nil
+	return &Expr{fn: fn, kind: val.K, aliasing: true}, nil
 }
 
-// broadcast fills a fresh vector of n copies of val without per-lane
-// boxing.
-func broadcast(val types.Value, n int) *vector.Vec {
-	v := vector.NewVec(val.K, n)
+// compileSubLink vectorizes uncorrelated scalar and EXISTS sublinks: the
+// subplan is materialized once (lazily, by the row engine's sublink
+// runtime) and the resulting value broadcast to a cached vector, so
+// provenance queries whose only non-columnar expression is an
+// uncorrelated sublink (TPC-H Q15's max-revenue filter) stay on the
+// batch engine. Quantified (ANY/ALL) sublinks fall back.
+func compileSubLink(n *algebra.SubLink, bind eval.Binder) (*Expr, error) {
+	kind := n.Typ
+	if n.Kind == algebra.SubExists {
+		kind = types.KindBool
+	}
+	if n.Kind != algebra.SubScalar && n.Kind != algebra.SubExists {
+		return nil, errUnsupported
+	}
+	if !vector.Supported(kind) {
+		return nil, errUnsupported
+	}
+	slv, err := bind.BindSubLink(n)
+	if err != nil {
+		return nil, err
+	}
+	isExists := n.Kind == algebra.SubExists
+	var cache *vector.Vec
+	fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
+		if cache == nil || cache.Len() < b.N {
+			var val types.Value
+			if isExists {
+				ok, err := slv.Exists()
+				if err != nil {
+					return nil, err
+				}
+				val = types.NewBool(ok)
+			} else {
+				v, err := slv.Scalar()
+				if err != nil {
+					return nil, err
+				}
+				val = v
+			}
+			cache = broadcast(val, kind, b.N)
+		}
+		return cache, nil
+	}
+	return &Expr{fn: fn, kind: kind, aliasing: true}, nil
+}
+
+// broadcast fills a fresh (unpooled: it is cached across batches) vector
+// of n copies of val, declared as kind (numeric values coerce).
+func broadcast(val types.Value, kind types.Kind, n int) *vector.Vec {
+	v := vector.NewVec(kind, n)
 	if val.Null {
 		for w := range v.Nulls {
 			v.Nulls[w] = ^uint64(0)
 		}
 		return v
 	}
-	switch val.K {
+	switch kind {
 	case types.KindBool:
 		for i := range v.B {
 			v.B[i] = val.B
 		}
 	case types.KindInt, types.KindDate:
+		iv := val.I
+		if val.K == types.KindFloat {
+			iv = int64(val.F)
+		}
 		for i := range v.I {
-			v.I[i] = val.I
+			v.I[i] = iv
 		}
 	case types.KindFloat:
+		f := val.AsFloat()
 		for i := range v.F {
-			v.F[i] = val.F
+			v.F[i] = f
 		}
 	case types.KindString:
 		for i := range v.S {
@@ -272,59 +342,8 @@ func laneCompare(class cmpClass, l *vector.Vec, li int, r *vector.Vec, ri int) i
 	}
 }
 
-// foldConst evaluates constant-only arithmetic subtrees (notably the
-// date ± interval bounds every TPC-H range predicate carries) with the
-// row engine's own value operations, so the enclosing comparison can
-// still vectorize. Errors (e.g. a constant division by zero) leave the
-// tree unfolded; the runtime kernels then raise the same error the row
-// engine would.
-func foldConst(e algebra.Expr) (types.Value, bool) {
-	switch n := e.(type) {
-	case *algebra.Const:
-		return n.Val, true
-	case *algebra.UnOp:
-		if n.Op != "-" {
-			return types.NullValue, false
-		}
-		v, ok := foldConst(n.Expr)
-		if !ok {
-			return types.NullValue, false
-		}
-		out, err := types.Neg(v)
-		return out, err == nil
-	case *algebra.BinOp:
-		l, ok := foldConst(n.Left)
-		if !ok {
-			return types.NullValue, false
-		}
-		r, ok := foldConst(n.Right)
-		if !ok {
-			return types.NullValue, false
-		}
-		var out types.Value
-		var err error
-		switch n.Op {
-		case "+":
-			out, err = types.Add(l, r)
-		case "-":
-			out, err = types.Sub(l, r)
-		case "*":
-			out, err = types.Mul(l, r)
-		case "/":
-			out, err = types.Div(l, r)
-		case "%":
-			out, err = types.Mod(l, r)
-		default:
-			return types.NullValue, false
-		}
-		return out, err == nil
-	default:
-		return types.NullValue, false
-	}
-}
-
-func compileBinOp(n *algebra.BinOp, bind VarBinder) (*Expr, error) {
-	if v, ok := foldConst(n); ok && vector.Supported(v.K) && v.K == n.Typ {
+func compileBinOp(n *algebra.BinOp, bind eval.Binder) (*Expr, error) {
+	if v, ok := algebra.FoldConst(n); ok && vector.Supported(v.K) && v.K == n.Typ {
 		return compileConst(&algebra.Const{Val: v})
 	}
 	switch n.Op {
@@ -371,9 +390,10 @@ func compileCompare(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
 		}
 		rv, err := r.fn(b, sel)
 		if err != nil {
+			l.FreeResult(lv)
 			return nil, err
 		}
-		out := vector.NewVec(types.KindBool, b.N)
+		out := vector.NewBatchVec(types.KindBool, b.N)
 		if !lv.Nulls.AnySet(b.N) && !rv.Nulls.AnySet(b.N) {
 			// Null-free fast path: no per-lane bitmap checks.
 			if class == classInt {
@@ -381,20 +401,22 @@ func compileCompare(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
 				for _, i := range sel {
 					out.B[i] = cmpOK(cmpI(li[i], ri[i]), op)
 				}
-				return out, nil
+			} else {
+				for _, i := range sel {
+					out.B[i] = cmpOK(laneCompare(class, lv, i, rv, i), op)
+				}
 			}
+		} else {
 			for _, i := range sel {
+				if lv.Nulls.Get(i) || rv.Nulls.Get(i) {
+					out.Nulls.Set(i)
+					continue
+				}
 				out.B[i] = cmpOK(laneCompare(class, lv, i, rv, i), op)
 			}
-			return out, nil
 		}
-		for _, i := range sel {
-			if lv.Nulls.Get(i) || rv.Nulls.Get(i) {
-				out.Nulls.Set(i)
-				continue
-			}
-			out.B[i] = cmpOK(laneCompare(class, lv, i, rv, i), op)
-		}
+		l.FreeResult(lv)
+		r.FreeResult(rv)
 		return out, nil
 	}
 	return &Expr{fn: fn, kind: types.KindBool}, nil
@@ -422,9 +444,10 @@ func compileLike(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
 		}
 		rv, err := r.fn(b, sel)
 		if err != nil {
+			l.FreeResult(lv)
 			return nil, err
 		}
-		out := vector.NewVec(types.KindBool, b.N)
+		out := vector.NewBatchVec(types.KindBool, b.N)
 		for _, i := range sel {
 			if lv.Nulls.Get(i) || rv.Nulls.Get(i) {
 				out.Nulls.Set(i)
@@ -432,6 +455,8 @@ func compileLike(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
 			}
 			out.B[i] = eval.MatchLike(lv.S[i], rv.S[i])
 		}
+		l.FreeResult(lv)
+		r.FreeResult(rv)
 		return out, nil
 	}
 	return &Expr{fn: fn, kind: types.KindBool}, nil
@@ -452,9 +477,10 @@ func compileArith(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
 			}
 			rv, err := r.fn(b, sel)
 			if err != nil {
+				l.FreeResult(lv)
 				return nil, err
 			}
-			out := vector.NewVec(types.KindInt, b.N)
+			out := vector.NewBatchVec(types.KindInt, b.N)
 			skipNulls := !lv.Nulls.AnySet(b.N) && !rv.Nulls.AnySet(b.N)
 			for _, i := range sel {
 				if !skipNulls && (lv.Nulls.Get(i) || rv.Nulls.Get(i)) {
@@ -471,6 +497,9 @@ func compileArith(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
 					out.I[i] = a * c
 				default: // "/", "%"
 					if c == 0 {
+						out.Free()
+						l.FreeResult(lv)
+						r.FreeResult(rv)
 						return nil, fmt.Errorf("division by zero")
 					}
 					if op == "/" {
@@ -480,6 +509,8 @@ func compileArith(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
 					}
 				}
 			}
+			l.FreeResult(lv)
+			r.FreeResult(rv)
 			return out, nil
 		}
 		return &Expr{fn: fn, kind: types.KindInt}, nil
@@ -496,9 +527,10 @@ func compileArith(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
 			}
 			rv, err := r.fn(b, sel)
 			if err != nil {
+				l.FreeResult(lv)
 				return nil, err
 			}
-			out := vector.NewVec(types.KindFloat, b.N)
+			out := vector.NewBatchVec(types.KindFloat, b.N)
 			skipNulls := !lv.Nulls.AnySet(b.N) && !rv.Nulls.AnySet(b.N)
 			for _, i := range sel {
 				if !skipNulls && (lv.Nulls.Get(i) || rv.Nulls.Get(i)) {
@@ -515,11 +547,16 @@ func compileArith(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
 					out.F[i] = a * c
 				default: // "/"
 					if c == 0 {
+						out.Free()
+						l.FreeResult(lv)
+						r.FreeResult(rv)
 						return nil, fmt.Errorf("division by zero")
 					}
 					out.F[i] = a / c
 				}
 			}
+			l.FreeResult(lv)
+			r.FreeResult(rv)
 			return out, nil
 		}
 		return &Expr{fn: fn, kind: types.KindFloat}, nil
@@ -531,7 +568,7 @@ func compileArith(n *algebra.BinOp, l, r *Expr) (*Expr, error) {
 // short-circuit behaviour: the right operand is only evaluated on lanes
 // the left operand does not already decide (so e.g. a division guarded
 // by an AND never runs on the guarded-out lanes).
-func compileLogic(n *algebra.BinOp, bind VarBinder) (*Expr, error) {
+func compileLogic(n *algebra.BinOp, bind eval.Binder) (*Expr, error) {
 	l, err := CompileExpr(n.Left, bind)
 	if err != nil {
 		return nil, err
@@ -544,6 +581,7 @@ func compileLogic(n *algebra.BinOp, bind VarBinder) (*Expr, error) {
 		return nil, errUnsupported
 	}
 	isAnd := n.Op == "AND"
+	var subBuf []int
 	fn := func(b *vector.Batch, sel []int) (*vector.Vec, error) {
 		sel = resolveSel(b, sel)
 		lv, err := l.fn(b, sel)
@@ -551,21 +589,26 @@ func compileLogic(n *algebra.BinOp, bind VarBinder) (*Expr, error) {
 			return nil, err
 		}
 		// Lanes the left side does not decide.
-		sub := make([]int, 0, len(sel))
+		if subBuf == nil {
+			subBuf = make([]int, 0, vector.BatchSize)
+		}
+		sub := subBuf[:0]
 		for _, i := range sel {
 			decided := !lv.Nulls.Get(i) && (lv.B[i] != isAnd)
 			if !decided {
 				sub = append(sub, i)
 			}
 		}
+		subBuf = sub
 		var rv *vector.Vec
 		if len(sub) > 0 {
 			rv, err = r.fn(b, sub)
 			if err != nil {
+				l.FreeResult(lv)
 				return nil, err
 			}
 		}
-		out := vector.NewVec(types.KindBool, b.N)
+		out := vector.NewBatchVec(types.KindBool, b.N)
 		for _, i := range sel {
 			ln := lv.Nulls.Get(i)
 			if !ln && lv.B[i] != isAnd {
@@ -583,13 +626,17 @@ func compileLogic(n *algebra.BinOp, bind VarBinder) (*Expr, error) {
 			}
 			out.B[i] = isAnd // both undecided and non-null: AND→true, OR→false
 		}
+		l.FreeResult(lv)
+		if rv != nil {
+			r.FreeResult(rv)
+		}
 		return out, nil
 	}
 	return &Expr{fn: fn, kind: types.KindBool}, nil
 }
 
-func compileUnOp(n *algebra.UnOp, bind VarBinder) (*Expr, error) {
-	if v, ok := foldConst(n); ok && vector.Supported(v.K) && v.K == n.Typ {
+func compileUnOp(n *algebra.UnOp, bind eval.Binder) (*Expr, error) {
+	if v, ok := algebra.FoldConst(n); ok && vector.Supported(v.K) && v.K == n.Typ {
 		return compileConst(&algebra.Const{Val: v})
 	}
 	inner, err := CompileExpr(n.Expr, bind)
@@ -607,7 +654,7 @@ func compileUnOp(n *algebra.UnOp, bind VarBinder) (*Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			out := vector.NewVec(types.KindBool, b.N)
+			out := vector.NewBatchVec(types.KindBool, b.N)
 			for _, i := range sel {
 				if v.Nulls.Get(i) {
 					out.Nulls.Set(i)
@@ -615,6 +662,7 @@ func compileUnOp(n *algebra.UnOp, bind VarBinder) (*Expr, error) {
 				}
 				out.B[i] = !v.B[i]
 			}
+			inner.FreeResult(v)
 			return out, nil
 		}
 		return &Expr{fn: fn, kind: types.KindBool}, nil
@@ -634,7 +682,7 @@ func compileUnOp(n *algebra.UnOp, bind VarBinder) (*Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			out := vector.NewVec(kind, b.N)
+			out := vector.NewBatchVec(kind, b.N)
 			for _, i := range sel {
 				if v.Nulls.Get(i) {
 					out.Nulls.Set(i)
@@ -646,6 +694,7 @@ func compileUnOp(n *algebra.UnOp, bind VarBinder) (*Expr, error) {
 					out.F[i] = -v.F[i]
 				}
 			}
+			inner.FreeResult(v)
 			return out, nil
 		}
 		return &Expr{fn: fn, kind: kind}, nil
@@ -654,7 +703,7 @@ func compileUnOp(n *algebra.UnOp, bind VarBinder) (*Expr, error) {
 	}
 }
 
-func compileIsNull(n *algebra.IsNull, bind VarBinder) (*Expr, error) {
+func compileIsNull(n *algebra.IsNull, bind eval.Binder) (*Expr, error) {
 	inner, err := CompileExpr(n.Expr, bind)
 	if err != nil {
 		return nil, err
@@ -666,16 +715,17 @@ func compileIsNull(n *algebra.IsNull, bind VarBinder) (*Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := vector.NewVec(types.KindBool, b.N)
+		out := vector.NewBatchVec(types.KindBool, b.N)
 		for _, i := range sel {
 			out.B[i] = v.Nulls.Get(i) != not
 		}
+		inner.FreeResult(v)
 		return out, nil
 	}
 	return &Expr{fn: fn, kind: types.KindBool}, nil
 }
 
-func compileDistinctFrom(n *algebra.DistinctFrom, bind VarBinder) (*Expr, error) {
+func compileDistinctFrom(n *algebra.DistinctFrom, bind eval.Binder) (*Expr, error) {
 	l, err := CompileExpr(n.Left, bind)
 	if err != nil {
 		return nil, err
@@ -697,9 +747,10 @@ func compileDistinctFrom(n *algebra.DistinctFrom, bind VarBinder) (*Expr, error)
 		}
 		rv, err := r.fn(b, sel)
 		if err != nil {
+			l.FreeResult(lv)
 			return nil, err
 		}
-		out := vector.NewVec(types.KindBool, b.N)
+		out := vector.NewBatchVec(types.KindBool, b.N)
 		for _, i := range sel {
 			ln, rn := lv.Nulls.Get(i), rv.Nulls.Get(i)
 			var distinct bool
@@ -713,6 +764,8 @@ func compileDistinctFrom(n *algebra.DistinctFrom, bind VarBinder) (*Expr, error)
 			}
 			out.B[i] = distinct != not
 		}
+		l.FreeResult(lv)
+		r.FreeResult(rv)
 		return out, nil
 	}
 	return &Expr{fn: fn, kind: types.KindBool}, nil

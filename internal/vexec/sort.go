@@ -1,0 +1,475 @@
+// Vectorized sorting, top-N, limiting and duplicate elimination. These
+// are the blocking operators that used to force a BatchToRow demotion in
+// the middle of provenance pipelines; implementing them column-wise keeps
+// ORDER BY / LIMIT / DISTINCT plans on the batch engine end to end.
+package vexec
+
+import (
+	"sort"
+
+	"perm/internal/exec"
+	"perm/internal/vector"
+)
+
+// colAccumulator collects live batch lanes into growable, unpooled
+// columns (the materialization side of sort/top-N/set operations).
+type colAccumulator struct {
+	cols []*vector.Vec
+	n    int
+}
+
+// initFrom sizes the accumulator after the first batch's column kinds.
+func (a *colAccumulator) initFrom(b *vector.Batch) {
+	if a.cols != nil {
+		return
+	}
+	a.cols = make([]*vector.Vec, len(b.Cols))
+	for j, c := range b.Cols {
+		a.cols[j] = vector.NewVec(c.Kind, 0)
+	}
+}
+
+// appendLanes copies the given live lanes of the batch.
+func (a *colAccumulator) appendLanes(b *vector.Batch, lanes []int) {
+	a.initFrom(b)
+	for j, c := range b.Cols {
+		a.cols[j].AppendLanes(c, lanes)
+	}
+	a.n += len(lanes)
+}
+
+// appendLane copies one live lane of the batch.
+func (a *colAccumulator) appendLane(b *vector.Batch, lane int) {
+	a.initFrom(b)
+	for j, c := range b.Cols {
+		a.cols[j].AppendFrom(c, lane)
+	}
+	a.n++
+}
+
+// emitter streams gathered windows of an accumulator in batch-sized
+// chunks, recycling the gather buffers between chunks.
+type emitter struct {
+	cols  []*vector.Vec
+	order []int32
+	pos   int
+	owned []*vector.Vec
+	buf   []*vector.Vec
+}
+
+func (e *emitter) reset(cols []*vector.Vec, order []int32) {
+	e.cols, e.order, e.pos = cols, order, 0
+}
+
+func (e *emitter) next() *vector.Batch {
+	for _, v := range e.owned {
+		v.Free()
+	}
+	e.owned = e.owned[:0]
+	if e.pos >= len(e.order) {
+		return nil
+	}
+	hi := e.pos + vector.BatchSize
+	if hi > len(e.order) {
+		hi = len(e.order)
+	}
+	chunk := e.order[e.pos:hi]
+	e.pos = hi
+	if e.buf == nil {
+		e.buf = make([]*vector.Vec, len(e.cols))
+	}
+	for j, c := range e.cols {
+		e.buf[j] = vector.GatherBatch(c, chunk, c.Kind)
+	}
+	e.owned = append(e.owned[:0], e.buf...)
+	return &vector.Batch{N: len(chunk), Cols: e.buf}
+}
+
+func (e *emitter) close() {
+	for _, v := range e.owned {
+		v.Free()
+	}
+	e.owned = e.owned[:0]
+}
+
+// ---------------------------------------------------------------------------
+// VecSort
+
+// VecSort materializes its input into columns and orders it with a
+// column-wise multi-key comparator (stable, NULLS LAST ascending / first
+// descending — the row engine's convention exactly).
+type VecSort struct {
+	Input Node
+	Keys  []exec.SortKey
+
+	acc  colAccumulator
+	emit emitter
+}
+
+// NewVecSort returns a vectorized sort node.
+func NewVecSort(input Node, keys []exec.SortKey) *VecSort {
+	return &VecSort{Input: input, Keys: keys}
+}
+
+func (s *VecSort) Open() error {
+	s.acc = colAccumulator{}
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	for {
+		b, err := s.Input.Next()
+		if err != nil {
+			s.Input.Close() //nolint:errcheck — unwinding after a failed drain
+			return err
+		}
+		if b == nil {
+			break
+		}
+		s.acc.appendLanes(b, resolveSel(b, b.Sel))
+	}
+	if err := s.Input.Close(); err != nil {
+		return err
+	}
+	order := make([]int32, s.acc.n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if s.acc.n > 0 {
+		classes := sortKeyClasses(s.Keys, s.acc.cols)
+		sort.SliceStable(order, func(x, y int) bool {
+			i, j := int(order[x]), int(order[y])
+			for k, key := range s.Keys {
+				col := s.acc.cols[key.Pos]
+				c := compareSortLanes(classes[k], col, i, col, j)
+				if c == 0 {
+					continue
+				}
+				if key.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	s.emit.reset(s.acc.cols, order)
+	return nil
+}
+
+func (s *VecSort) Next() (*vector.Batch, error) { return s.emit.next(), nil }
+
+func (s *VecSort) Close() error {
+	s.emit.close()
+	s.acc = colAccumulator{}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// VecTopN
+
+// VecTopN is the limit-aware sort: it keeps only the top
+// offset+count rows in a bounded max-heap while draining its input
+// (O(n log k) comparisons, bounded candidate storage), then emits them in
+// order with the offset skipped. Ties resolve by input order, matching
+// the row engine's stable sort + LIMIT.
+type VecTopN struct {
+	Input  Node
+	Keys   []exec.SortKey
+	Count  int64 // ≥ 0
+	Offset int64
+
+	acc     colAccumulator
+	classes []cmpClass
+	heap    []int32 // max-heap over accumulated rows ("worst" on top)
+	emit    emitter
+}
+
+// NewVecTopN returns a vectorized top-N node keeping offset+count rows.
+func NewVecTopN(input Node, keys []exec.SortKey, count, offset int64) *VecTopN {
+	return &VecTopN{Input: input, Keys: keys, Count: count, Offset: offset}
+}
+
+// rowLess orders accumulated rows i and j by the sort keys, breaking
+// ties by insertion index (stability).
+func (t *VecTopN) rowLess(i, j int32) bool {
+	for k, key := range t.Keys {
+		col := t.acc.cols[key.Pos]
+		c := compareSortLanes(t.classes[k], col, int(i), col, int(j))
+		if c == 0 {
+			continue
+		}
+		if key.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return i < j
+}
+
+// laneBeatsWorst reports whether batch lane i sorts strictly before the
+// current heap maximum (an incoming row never displaces an equal-keyed
+// earlier row: ties keep the earlier arrival, like a stable sort).
+func (t *VecTopN) laneBeatsWorst(b *vector.Batch, i int) bool {
+	worst := int(t.heap[0])
+	for k, key := range t.Keys {
+		col := b.Cols[key.Pos]
+		c := compareSortLanes(t.classes[k], col, i, t.acc.cols[key.Pos], worst)
+		if c == 0 {
+			continue
+		}
+		if key.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false // equal keys: the earlier row wins
+}
+
+func (t *VecTopN) siftDown(at int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*at+1, 2*at+2
+		largest := at
+		if l < n && t.rowLess(t.heap[largest], t.heap[l]) {
+			largest = l
+		}
+		if r < n && t.rowLess(t.heap[largest], t.heap[r]) {
+			largest = r
+		}
+		if largest == at {
+			return
+		}
+		t.heap[at], t.heap[largest] = t.heap[largest], t.heap[at]
+		at = largest
+	}
+}
+
+func (t *VecTopN) siftUp(at int) {
+	for at > 0 {
+		parent := (at - 1) / 2
+		if !t.rowLess(t.heap[parent], t.heap[at]) {
+			return
+		}
+		t.heap[at], t.heap[parent] = t.heap[parent], t.heap[at]
+		at = parent
+	}
+}
+
+func (t *VecTopN) Open() error {
+	t.acc = colAccumulator{}
+	t.heap = t.heap[:0]
+	k := t.Offset + t.Count
+	if err := t.Input.Open(); err != nil {
+		return err
+	}
+	for {
+		b, err := t.Input.Next()
+		if err != nil {
+			t.Input.Close() //nolint:errcheck — unwinding after a failed drain
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if k == 0 {
+			continue // LIMIT 0: drain for side-effect-free symmetry
+		}
+		if t.classes == nil {
+			t.classes = sortKeyClasses(t.Keys, b.Cols)
+		}
+		for _, i := range resolveSel(b, b.Sel) {
+			if int64(len(t.heap)) < k {
+				t.acc.appendLane(b, i)
+				t.heap = append(t.heap, int32(t.acc.n-1))
+				t.siftUp(len(t.heap) - 1)
+				continue
+			}
+			if !t.laneBeatsWorst(b, i) {
+				continue
+			}
+			t.acc.appendLane(b, i)
+			t.heap[0] = int32(t.acc.n - 1)
+			t.siftDown(0)
+		}
+		// Displaced rows stay in the accumulator until compaction; keep
+		// its footprint bounded by ~2k rows (plus batch slack) so an
+		// adversarial input order cannot materialize the whole stream.
+		if int64(t.acc.n) > 2*k+vector.BatchSize {
+			t.compact()
+		}
+	}
+	if err := t.Input.Close(); err != nil {
+		return err
+	}
+	order := append([]int32(nil), t.heap...)
+	sort.Slice(order, func(x, y int) bool { return t.rowLess(order[x], order[y]) })
+	if int64(len(order)) > t.Offset {
+		order = order[t.Offset:]
+	} else {
+		order = nil
+	}
+	t.emit.reset(t.acc.cols, order)
+	return nil
+}
+
+// compact rewrites the accumulator down to the heap's live rows,
+// reclaiming the storage of displaced candidates. Live rows are copied
+// in ascending old-index order, so relative arrival order — the
+// comparator's tie-breaker — is preserved and the heap invariant
+// survives the relabeling untouched.
+func (t *VecTopN) compact() {
+	live := append([]int32(nil), t.heap...)
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	remap := make(map[int32]int32, len(live))
+	cols := make([]*vector.Vec, len(t.acc.cols))
+	for c, col := range t.acc.cols {
+		cols[c] = vector.Gather(col, live, col.Kind)
+	}
+	for newIdx, oldIdx := range live {
+		remap[oldIdx] = int32(newIdx)
+	}
+	for i, h := range t.heap {
+		t.heap[i] = remap[h]
+	}
+	t.acc = colAccumulator{cols: cols, n: len(live)}
+}
+
+func (t *VecTopN) Next() (*vector.Batch, error) { return t.emit.next(), nil }
+
+func (t *VecTopN) Close() error {
+	t.emit.close()
+	t.acc = colAccumulator{}
+	t.heap = t.heap[:0]
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// VecLimit
+
+// VecLimit trims the live-row stream to [Offset, Offset+Count) without
+// materializing anything; it stops pulling its input once the count is
+// satisfied. A negative Count means no limit (offset only).
+type VecLimit struct {
+	Input   Node
+	Count   int64
+	Offset  int64
+	skipped int64
+	emitted int64
+}
+
+// NewVecLimit returns a vectorized limit node.
+func NewVecLimit(input Node, count, offset int64) *VecLimit {
+	return &VecLimit{Input: input, Count: count, Offset: offset}
+}
+
+func (l *VecLimit) Open() error {
+	l.skipped, l.emitted = 0, 0
+	return l.Input.Open()
+}
+
+func (l *VecLimit) Next() (*vector.Batch, error) {
+	for {
+		if l.Count >= 0 && l.emitted >= l.Count {
+			return nil, nil
+		}
+		b, err := l.Input.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		lanes := resolveSel(b, b.Sel)
+		lo := 0
+		for lo < len(lanes) && l.skipped < l.Offset {
+			l.skipped++
+			lo++
+		}
+		take := len(lanes) - lo
+		if l.Count >= 0 {
+			if rem := l.Count - l.emitted; int64(take) > rem {
+				take = int(rem)
+			}
+		}
+		if take <= 0 {
+			continue
+		}
+		l.emitted += int64(take)
+		return &vector.Batch{N: b.N, Cols: b.Cols, Sel: lanes[lo : lo+take]}, nil
+	}
+}
+
+func (l *VecLimit) Close() error { return l.Input.Close() }
+
+// ---------------------------------------------------------------------------
+// VecDistinct
+
+// VecDistinct streams its input, passing through the first occurrence of
+// each distinct row (null-safe row equality, first-appearance order —
+// exactly the row engine's Distinct). Seen rows are copied into
+// accumulator columns so input batches are never retained.
+type VecDistinct struct {
+	Input Node
+
+	acc    colAccumulator
+	table  map[uint64][]int32
+	selBuf []int
+}
+
+// NewVecDistinct returns a vectorized duplicate-elimination node.
+func NewVecDistinct(input Node) *VecDistinct { return &VecDistinct{Input: input} }
+
+func (d *VecDistinct) Open() error {
+	d.acc = colAccumulator{}
+	d.table = make(map[uint64][]int32)
+	if d.selBuf == nil {
+		d.selBuf = make([]int, 0, vector.BatchSize)
+	}
+	return d.Input.Open()
+}
+
+func (d *VecDistinct) Next() (*vector.Batch, error) {
+	for {
+		b, err := d.Input.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		d.acc.initFrom(b)
+		out := d.selBuf[:0]
+		for _, i := range resolveSel(b, b.Sel) {
+			h := hashLanes(b.Cols, i)
+			dup := false
+			for _, gi := range d.table[h] {
+				if rowsEqual(b.Cols, i, d.acc.cols, int(gi)) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			d.table[h] = append(d.table[h], int32(d.acc.n))
+			d.acc.appendLane(b, i)
+			out = append(out, i)
+		}
+		d.selBuf = out
+		if len(out) == 0 {
+			continue
+		}
+		return &vector.Batch{N: b.N, Cols: b.Cols, Sel: out}, nil
+	}
+}
+
+func (d *VecDistinct) Close() error {
+	d.acc = colAccumulator{}
+	d.table = nil
+	return d.Input.Close()
+}
+
+// rowsEqual compares lane i of batch columns a against stored row j of
+// columns b, null-safe, across all columns.
+func rowsEqual(a []*vector.Vec, i int, b []*vector.Vec, j int) bool {
+	for c := range a {
+		if !lanesEqualNullSafe(a[c], i, b[c], j) {
+			return false
+		}
+	}
+	return true
+}

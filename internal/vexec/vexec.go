@@ -1,24 +1,33 @@
 // Package vexec implements the batch-at-a-time (vectorized) physical
 // operators of the Perm engine: columnar scans over heap column
-// snapshots, filters driven by selection vectors, projections over
-// vectorized expressions, hash joins (inner and left outer, with the
-// null-safe key variant the provenance join-back conditions require) and
-// hash aggregation. The planner lowers a plan subtree to these operators
-// when every operator and expression in it is supported, and bridges
-// back to the row-at-a-time engine (package exec) through RowSource
-// wherever it is not.
+// snapshots (with runtime join-filter pushdown), filters driven by
+// selection vectors, projections over vectorized expressions, hash joins
+// (inner and left outer, with the null-safe key variant the provenance
+// join-back conditions require), hash aggregation, sorting/top-N,
+// duplicate elimination and bag/set operations. The planner lowers a
+// plan subtree to these operators when every operator and expression in
+// it is supported, and bridges back to the row-at-a-time engine (package
+// exec) through RowSource wherever it is not.
+//
+// Batch-buffer discipline: an operator must abandon all references to a
+// batch obtained from its child before calling the child's Next again;
+// in exchange, producers may recycle the buffers behind a previously
+// emitted batch on their next Next call. This is what lets the
+// expression kernels and emitting operators draw their vectors from the
+// shared pool (vector.NewBatchVec/Free) instead of allocating per batch.
 package vexec
 
 import (
 	"perm/internal/algebra"
+	"perm/internal/exec"
 	"perm/internal/types"
 	"perm/internal/vector"
 )
 
 // Node is a batch iterator. Next returns (nil, nil) at end of stream.
-// Returned batches are immutable: their vectors are never written again,
-// so consumers may retain batches (the hash join keeps build-side
-// batches until its table is assembled).
+// Returned batches are immutable until the consumer's next Next call on
+// this node; consumers that need longer-lived data must copy it out
+// (every materializing operator in this package does).
 type Node interface {
 	Open() error
 	Next() (*vector.Batch, error)
@@ -28,12 +37,37 @@ type Node interface {
 // ---------------------------------------------------------------------------
 // ColScan
 
+// rfBinding attaches one runtime join filter to a scan column. The scan
+// counts tested/admitted lanes and retires bindings that stop pruning
+// (a dense Bloom filter costs hashing without saving work downstream).
+type rfBinding struct {
+	rf       *RuntimeFilter
+	col      int
+	tested   int
+	admitted int
+	dead     bool
+}
+
+// rfMinTested and rfKeepFrac steer the adaptive retirement: after
+// rfMinTested lanes, a binding that admits more than rfKeepFrac of them
+// is turned off for the rest of the scan.
+const (
+	rfMinTested = 4096
+	rfKeepFrac  = 0.9
+)
+
 // ColScan iterates a columnar snapshot of a base table in BatchSize
-// windows. The column vectors are shared, read-only, across queries.
+// windows, applying any runtime join filters pushed down onto it as an
+// extra selection pass before the batch leaves the scan.
 type ColScan struct {
 	Cols    []*vector.Vec
 	NumRows int
 	pos     int
+
+	rfs     []rfBinding
+	winCols []*vector.Vec
+	winVecs []vector.Vec
+	selBuf  []int
 }
 
 // NewColScan returns a columnar scan over n rows.
@@ -41,23 +75,91 @@ func NewColScan(cols []*vector.Vec, n int) *ColScan {
 	return &ColScan{Cols: cols, NumRows: n}
 }
 
-func (s *ColScan) Open() error { s.pos = 0; return nil }
+// AddRuntimeFilter registers a runtime join filter against column col.
+// The producing hash join publishes the filter when its build side is
+// complete; until then the binding passes everything through.
+func (s *ColScan) AddRuntimeFilter(rf *RuntimeFilter, col int) {
+	s.rfs = append(s.rfs, rfBinding{rf: rf, col: col})
+}
+
+// HasRuntimeFilters reports whether any runtime filters are bound to the
+// scan (EXPLAIN).
+func (s *ColScan) HasRuntimeFilters() bool { return len(s.rfs) > 0 }
+
+func (s *ColScan) Open() error {
+	s.pos = 0
+	for i := range s.rfs {
+		s.rfs[i].tested, s.rfs[i].admitted, s.rfs[i].dead = 0, 0, false
+	}
+	if s.winCols == nil {
+		s.winVecs = make([]vector.Vec, len(s.Cols))
+		s.winCols = make([]*vector.Vec, len(s.Cols))
+		for j := range s.winVecs {
+			s.winCols[j] = &s.winVecs[j]
+		}
+	}
+	return nil
+}
 
 func (s *ColScan) Next() (*vector.Batch, error) {
-	if s.pos >= s.NumRows {
-		return nil, nil
+	for s.pos < s.NumRows {
+		hi := s.pos + vector.BatchSize
+		if hi > s.NumRows {
+			hi = s.NumRows
+		}
+		for j, c := range s.Cols {
+			c.WindowInto(s.pos, hi, s.winCols[j])
+		}
+		b := &vector.Batch{N: hi - s.pos, Cols: s.winCols}
+		s.pos = hi
+		if !s.anyReadyFilter() {
+			return b, nil
+		}
+		if s.selBuf == nil {
+			s.selBuf = make([]int, 0, vector.BatchSize)
+		}
+		sel := s.selBuf[:0]
+	lanes:
+		for i := 0; i < b.N; i++ {
+			for bi := range s.rfs {
+				bind := &s.rfs[bi]
+				if bind.dead || !bind.rf.ready {
+					continue
+				}
+				bind.tested++
+				if !bind.rf.admit(b.Cols[bind.col], i) {
+					continue lanes
+				}
+				bind.admitted++
+			}
+			sel = append(sel, i)
+		}
+		s.selBuf = sel
+		for bi := range s.rfs {
+			bind := &s.rfs[bi]
+			if !bind.dead && bind.tested >= rfMinTested &&
+				float64(bind.admitted) > rfKeepFrac*float64(bind.tested) {
+				bind.dead = true
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		if len(sel) < b.N {
+			b.Sel = sel
+		}
+		return b, nil
 	}
-	hi := s.pos + vector.BatchSize
-	if hi > s.NumRows {
-		hi = s.NumRows
+	return nil, nil
+}
+
+func (s *ColScan) anyReadyFilter() bool {
+	for i := range s.rfs {
+		if !s.rfs[i].dead && s.rfs[i].rf.ready {
+			return true
+		}
 	}
-	cols := make([]*vector.Vec, len(s.Cols))
-	for j, c := range s.Cols {
-		cols[j] = c.Window(s.pos, hi)
-	}
-	b := &vector.Batch{N: hi - s.pos, Cols: cols}
-	s.pos = hi
-	return b, nil
+	return false
 }
 
 func (s *ColScan) Close() error { return nil }
@@ -68,8 +170,9 @@ func (s *ColScan) Close() error { return nil }
 // Filter narrows each batch's selection vector to the rows where the
 // predicate is TRUE; batches with no surviving rows are skipped.
 type Filter struct {
-	Input Node
-	Pred  *Expr
+	Input  Node
+	Pred   *Expr
+	selBuf []int
 }
 
 // NewFilter returns a vectorized filter. Pred must have kind bool.
@@ -77,7 +180,12 @@ func NewFilter(input Node, pred *Expr) *Filter {
 	return &Filter{Input: input, Pred: pred}
 }
 
-func (f *Filter) Open() error { return f.Input.Open() }
+func (f *Filter) Open() error {
+	if f.selBuf == nil {
+		f.selBuf = make([]int, 0, vector.BatchSize)
+	}
+	return f.Input.Open()
+}
 
 func (f *Filter) Next() (*vector.Batch, error) {
 	for {
@@ -90,7 +198,7 @@ func (f *Filter) Next() (*vector.Batch, error) {
 			return nil, err
 		}
 		sel := resolveSel(b, b.Sel)
-		out := make([]int, 0, len(sel))
+		out := f.selBuf[:0]
 		if !pv.Nulls.AnySet(b.N) {
 			for _, i := range sel {
 				if pv.B[i] {
@@ -104,6 +212,8 @@ func (f *Filter) Next() (*vector.Batch, error) {
 				}
 			}
 		}
+		f.Pred.FreeResult(pv)
+		f.selBuf = out
 		if len(out) == 0 {
 			continue
 		}
@@ -117,10 +227,14 @@ func (f *Filter) Close() error { return f.Input.Close() }
 // Project
 
 // Project computes output expressions per batch, passing the selection
-// vector through unchanged.
+// vector through unchanged. Output vectors it owns (kernel results) are
+// recycled once the consumer abandons the emitted batch.
 type Project struct {
 	Input Node
 	Exprs []*Expr
+
+	colsBuf []*vector.Vec
+	owned   []*vector.Vec
 }
 
 // NewProject returns a vectorized projection.
@@ -133,20 +247,40 @@ func (p *Project) Open() error { return p.Input.Open() }
 func (p *Project) Next() (*vector.Batch, error) {
 	b, err := p.Input.Next()
 	if err != nil || b == nil {
+		p.recycle()
 		return nil, err
 	}
-	cols := make([]*vector.Vec, len(p.Exprs))
+	p.recycle()
+	if p.colsBuf == nil {
+		p.colsBuf = make([]*vector.Vec, len(p.Exprs))
+	}
+	cols := p.colsBuf
 	for j, e := range p.Exprs {
 		v, err := e.fn(b, b.Sel)
 		if err != nil {
 			return nil, err
 		}
 		cols[j] = v
+		if !e.aliasing {
+			p.owned = append(p.owned, v)
+		}
 	}
 	return &vector.Batch{N: b.N, Cols: cols, Sel: b.Sel}, nil
 }
 
-func (p *Project) Close() error { return p.Input.Close() }
+// recycle frees the kernel results behind the previously emitted batch
+// (its consumer has abandoned it, or the stream ended).
+func (p *Project) recycle() {
+	for _, v := range p.owned {
+		v.Free()
+	}
+	p.owned = p.owned[:0]
+}
+
+func (p *Project) Close() error {
+	p.recycle()
+	return p.Input.Close()
+}
 
 // ---------------------------------------------------------------------------
 // Hash join
@@ -165,6 +299,11 @@ const (
 // NullSafe marks keys compared with IS NOT DISTINCT FROM semantics.
 // Residual conditions are handled by the planner as a Filter above an
 // inner join; left joins with residuals fall back to the row engine.
+//
+// Publish, when non-nil, carries one optional runtime filter per key;
+// when the build side completes, each filter is published (min/max range
+// plus Bloom filter over the build keys) so probe-side scans can prune
+// tuples before they ever reach the join.
 type HashJoin struct {
 	Left, Right Node
 	LeftKeys    []*Expr
@@ -173,6 +312,7 @@ type HashJoin struct {
 	Type        JoinType
 	LeftKinds   []types.Kind
 	RightKinds  []types.Kind
+	Publish     []*RuntimeFilter
 
 	buildCols  []*vector.Vec
 	buildKeys  []*vector.Vec
@@ -183,6 +323,8 @@ type HashJoin struct {
 	curBatch   *vector.Batch
 	outL, outR []int32 // pending (probe lane, build row) pairs; build -1 = null-extend
 	outPos     int
+	emitOwned  []*vector.Vec
+	emitBuf    []*vector.Vec
 }
 
 // NewHashJoin returns a vectorized hash join node.
@@ -195,10 +337,18 @@ func NewHashJoin(left, right Node, leftKeys, rightKeys []*Expr, nullSafe []bool,
 	}
 }
 
-func (j *HashJoin) Open() error {
-	if err := j.Left.Open(); err != nil {
-		return err
+// PublishesFilters reports whether the join feeds any runtime filters
+// (EXPLAIN).
+func (j *HashJoin) PublishesFilters() bool {
+	for _, rf := range j.Publish {
+		if rf != nil {
+			return true
+		}
 	}
+	return false
+}
+
+func (j *HashJoin) Open() error {
 	// A non-null-safe key pair outside the comparable classes can never
 	// match (the row engine's Equal would reject it too). Null-safe keys
 	// are exempt: NULL IS NOT DISTINCT FROM NULL matches regardless of
@@ -210,23 +360,29 @@ func (j *HashJoin) Open() error {
 			j.neverMatch = true
 		}
 	}
-	// Build side, pass 1: drain the right input, evaluate the key
-	// expressions per batch and keep the lanes whose non-null-safe keys
-	// are all non-NULL (a NULL there matches nothing; left-join null
-	// extension only depends on the probe side).
+	// Build side first: drain the right input, keeping (per batch, so no
+	// input batch is retained) the lanes whose non-null-safe keys are all
+	// non-NULL — a NULL there matches nothing; left-join null extension
+	// only depends on the probe side. Building before the probe side is
+	// even opened guarantees every runtime filter is published before any
+	// probe-side scan produces its first batch.
 	if err := j.Right.Open(); err != nil {
 		return err
 	}
-	type buildChunk struct {
-		batch *vector.Batch
-		keys  []*vector.Vec
-		lanes []int
+	j.buildCols = make([]*vector.Vec, len(j.RightKinds))
+	for c, k := range j.RightKinds {
+		j.buildCols[c] = vector.NewVec(k, 0)
 	}
-	var chunks []buildChunk
-	total := 0
+	j.buildKeys = make([]*vector.Vec, len(j.RightKeys))
+	for k, ke := range j.RightKeys {
+		j.buildKeys[k] = vector.NewVec(ke.Kind(), 0)
+	}
+	var hashes []uint64
+	var lanes []int
 	for {
 		b, err := j.Right.Next()
 		if err != nil {
+			j.Right.Close() //nolint:errcheck — unwinding after a failed build
 			return err
 		}
 		if b == nil {
@@ -236,12 +392,13 @@ func (j *HashJoin) Open() error {
 		for k, ke := range j.RightKeys {
 			kv, err := ke.fn(b, b.Sel)
 			if err != nil {
+				j.Right.Close() //nolint:errcheck — unwinding after a failed build
 				return err
 			}
 			keys[k] = kv
 		}
 		sel := resolveSel(b, b.Sel)
-		lanes := make([]int, 0, len(sel))
+		lanes = lanes[:0]
 		for _, i := range sel {
 			keep := true
 			for k := range keys {
@@ -255,40 +412,28 @@ func (j *HashJoin) Open() error {
 			}
 		}
 		if len(lanes) > 0 {
-			chunks = append(chunks, buildChunk{batch: b, keys: keys, lanes: lanes})
-			total += len(lanes)
+			for c, col := range b.Cols {
+				j.buildCols[c].AppendLanes(col, lanes)
+			}
+			for k, kv := range keys {
+				j.buildKeys[k].AppendLanes(kv, lanes)
+			}
+			for _, i := range lanes {
+				hashes = append(hashes, hashLanes(keys, i))
+			}
+		}
+		for k, kv := range keys {
+			j.RightKeys[k].FreeResult(kv)
 		}
 	}
 	if err := j.Right.Close(); err != nil {
 		return err
 	}
 
-	// Pass 2: compact the kept rows and their keys into exact-size build
-	// columns and assemble the chained hash table. Chains are threaded in
-	// reverse so probing visits build rows in input order, like the row
-	// engine's bucket order.
-	j.buildCols = make([]*vector.Vec, len(j.RightKinds))
-	for c, k := range j.RightKinds {
-		j.buildCols[c] = vector.NewVec(k, total)
-	}
-	j.buildKeys = make([]*vector.Vec, len(j.RightKeys))
-	for k, ke := range j.RightKeys {
-		j.buildKeys[k] = vector.NewVec(ke.Kind(), total)
-	}
-	hashes := make([]uint64, total)
-	row := 0
-	for _, ch := range chunks {
-		for c, col := range ch.batch.Cols {
-			j.buildCols[c].CopyLanes(row, col, ch.lanes)
-		}
-		for k, kv := range ch.keys {
-			j.buildKeys[k].CopyLanes(row, kv, ch.lanes)
-		}
-		for _, i := range ch.lanes {
-			hashes[row] = hashLanes(ch.keys, i)
-			row++
-		}
-	}
+	// Assemble the chained hash table. Chains are threaded in reverse so
+	// probing visits build rows in input order, like the row engine's
+	// bucket order.
+	total := len(hashes)
 	j.heads = make(map[uint64]int32, total)
 	j.next = make([]int32, total)
 	for r := total - 1; r >= 0; r-- {
@@ -299,10 +444,18 @@ func (j *HashJoin) Open() error {
 		}
 		j.heads[hashes[r]] = int32(r)
 	}
+	// Publish runtime filters now that the build side is complete; the
+	// probe subtree opens after this, so its scans observe ready filters
+	// from their very first batch.
+	for k, rf := range j.Publish {
+		if rf != nil {
+			rf.PublishFrom(j.buildKeys[k], total)
+		}
+	}
 	j.curBatch = nil
 	j.outL, j.outR = j.outL[:0], j.outR[:0]
 	j.outPos = 0
-	return nil
+	return j.Left.Open()
 }
 
 // keysMatch compares probe lane pi against build row bi.
@@ -375,12 +528,21 @@ func (j *HashJoin) Next() (*vector.Batch, error) {
 				j.outR = append(j.outR, -1)
 			}
 		}
+		for k, kv := range keys {
+			j.LeftKeys[k].FreeResult(kv)
+		}
 		j.curBatch = b
 	}
 }
 
-// emit returns the next chunk of pending join results as a batch.
+// emit returns the next chunk of pending join results as a batch,
+// recycling the gather buffers of the previous chunk (abandoned by the
+// consumer before it asked for this one).
 func (j *HashJoin) emit() *vector.Batch {
+	for _, v := range j.emitOwned {
+		v.Free()
+	}
+	j.emitOwned = j.emitOwned[:0]
 	n := len(j.outL) - j.outPos
 	if n > vector.BatchSize {
 		n = vector.BatchSize
@@ -388,19 +550,27 @@ func (j *HashJoin) emit() *vector.Batch {
 	chunkL := j.outL[j.outPos : j.outPos+n]
 	chunkR := j.outR[j.outPos : j.outPos+n]
 	j.outPos += n
-	cols := make([]*vector.Vec, len(j.LeftKinds)+len(j.RightKinds))
+	if j.emitBuf == nil {
+		j.emitBuf = make([]*vector.Vec, len(j.LeftKinds)+len(j.RightKinds))
+	}
+	cols := j.emitBuf
 	for c, k := range j.LeftKinds {
-		cols[c] = vector.Gather(j.curBatch.Cols[c], chunkL, k)
+		cols[c] = vector.GatherBatch(j.curBatch.Cols[c], chunkL, k)
 	}
 	off := len(j.LeftKinds)
 	for c, k := range j.RightKinds {
-		cols[off+c] = vector.Gather(j.buildCols[c], chunkR, k)
+		cols[off+c] = vector.GatherBatch(j.buildCols[c], chunkR, k)
 	}
+	j.emitOwned = append(j.emitOwned, cols...)
 	return &vector.Batch{N: n, Cols: cols}
 }
 
 func (j *HashJoin) Close() error {
 	err := j.Left.Close()
+	for _, v := range j.emitOwned {
+		v.Free()
+	}
+	j.emitOwned = j.emitOwned[:0]
 	j.buildCols, j.buildKeys, j.heads, j.next = nil, nil, nil, nil
 	j.curBatch = nil
 	return err
@@ -649,6 +819,14 @@ func (h *HashAgg) Open() error {
 				h.accs[ai].accumulate(g, args[ai], i)
 			}
 		}
+		for g, kv := range keys {
+			h.Groups[g].FreeResult(kv)
+		}
+		for ai, av := range args {
+			if av != nil {
+				h.Aggs[ai].Arg.FreeResult(av)
+			}
+		}
 	}
 	// Global aggregate over empty input: one row of defaults.
 	if h.numGroups == 0 && len(h.Groups) == 0 {
@@ -710,8 +888,9 @@ func (h *HashAgg) Close() error {
 // RowSource adapts a vectorized subtree to the row engine's volcano
 // interface (it structurally satisfies exec.Node), boxing each live
 // batch row back into a types.Row. This is the per-subtree fallback
-// boundary: row-only operators (sorts, set ops, right/full joins,
-// unsupported expressions) consume vectorized children through it.
+// boundary: row-only operators (right/full joins, unsupported
+// expressions) and the top-level result sink consume vectorized subtrees
+// through it.
 type RowSource struct {
 	Input Node
 	batch *vector.Batch
@@ -753,3 +932,29 @@ func (r *RowSource) Next() (types.Row, error) {
 
 // Close closes the vectorized subtree.
 func (r *RowSource) Close() error { return r.Input.Close() }
+
+// sortKeyClasses precomputes the comparison class of each sort key from
+// the first batch's column kinds.
+func sortKeyClasses(keys []exec.SortKey, cols []*vector.Vec) []cmpClass {
+	classes := make([]cmpClass, len(keys))
+	for i, k := range keys {
+		classes[i] = classify(cols[k.Pos].Kind, cols[k.Pos].Kind)
+	}
+	return classes
+}
+
+// compareSortLanes orders lane li of l against lane ri of r under one
+// sort key's class, treating NULL as greater than everything (the row
+// engine's NULLS LAST ascending convention).
+func compareSortLanes(class cmpClass, l *vector.Vec, li int, r *vector.Vec, ri int) int {
+	ln, rn := l.Nulls.Get(li), r.Nulls.Get(ri)
+	switch {
+	case ln && rn:
+		return 0
+	case ln:
+		return 1
+	case rn:
+		return -1
+	}
+	return laneCompare(class, l, li, r, ri)
+}

@@ -225,23 +225,26 @@ func TestOptimizerGoldenExplain(t *testing.T) {
 			want: strings.Join([]string{
 				"BatchToRow",
 				"  VecProject (6 cols)",
-				"    VecHashJoin (inner, 1 keys)",
-				"      VecScan (5 rows)",
+				"    VecHashJoin (inner, 1 keys, RuntimeFilter)",
+				"      VecScan (5 rows, RuntimeFilter)",
 				"      VecScan (4 rows)",
 				"",
 			}, "\n"),
 		},
 		{
+			// The join-back puts the (smaller) aggregate on the build side
+			// and publishes a runtime filter onto the probe scan — the
+			// provenance shape PR 4's runtime filters target.
 			name:  "flattened-aggregation-provenance",
 			query: `SELECT PROVENANCE b, count(*) AS c FROM r GROUP BY b`,
 			want: strings.Join([]string{
 				"BatchToRow",
 				"  VecProject (4 cols)",
-				"    VecHashJoin (inner, 1 keys)",
+				"    VecHashJoin (inner, 1 keys, RuntimeFilter)",
+				"      VecScan (4 rows, RuntimeFilter)",
 				"      VecProject (2 cols)",
 				"        VecHashAggregate (1 groups, 1 aggs)",
 				"          VecScan (4 rows)",
-				"      VecScan (4 rows)",
 				"",
 			}, "\n"),
 		},

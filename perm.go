@@ -38,6 +38,7 @@ import (
 	"perm/internal/qcache"
 	"perm/internal/sql"
 	"perm/internal/types"
+	"perm/internal/vexec"
 )
 
 // Database is an in-memory Perm database: a catalog of tables and views,
@@ -355,10 +356,6 @@ func (db *Database) executeCompiled(q *algebra.Query, into string) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Collect(node)
-	if err != nil {
-		return nil, err
-	}
 	schema := q.Schema()
 	res := &Result{
 		Columns:     schema.Names(),
@@ -366,6 +363,20 @@ func (db *Database) executeCompiled(q *algebra.Query, into string) (*Result, err
 	}
 	for _, pc := range q.ProvCols {
 		res.ProvColumns[pc.Col] = true
+	}
+	// A fully vectorized plan ends in a single batch→row adapter; read
+	// the batches underneath it directly so result values box straight
+	// out of the column vectors instead of through intermediate rows.
+	if rs, ok := node.(*vexec.RowSource); ok && into == "" {
+		res.Rows, err = collectBatchValues(rs.Input)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	rows, err := exec.Collect(node)
+	if err != nil {
+		return nil, err
 	}
 	res.Rows = make([][]Value, len(rows))
 	for i, r := range rows {
@@ -381,6 +392,41 @@ func (db *Database) executeCompiled(q *algebra.Query, into string) (*Result, err
 		}
 	}
 	return res, nil
+}
+
+// collectBatchValues drains a vectorized plan into result rows, boxing
+// each live lane once.
+func collectBatchValues(in vexec.Node) ([][]Value, error) {
+	if err := in.Open(); err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	var out [][]Value
+	for {
+		b, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		emit := func(lane int) {
+			vr := make([]Value, len(b.Cols))
+			for j, c := range b.Cols {
+				vr[j] = Value{v: c.Value(lane)}
+			}
+			out = append(out, vr)
+		}
+		if b.Sel != nil {
+			for _, lane := range b.Sel {
+				emit(lane)
+			}
+		} else {
+			for lane := 0; lane < b.N; lane++ {
+				emit(lane)
+			}
+		}
+	}
 }
 
 // MustQuery is Query that panics on error.
@@ -476,9 +522,26 @@ func (db *Database) analyzeAndRewrite(sel *sql.SelectStmt) (*algebra.Query, erro
 		return nil, err
 	}
 	if !db.opts.DisableOptimizer {
-		q = optimize.Query(q)
+		q = optimize.QueryWithStats(q, catalogStats{cat: db.cat})
 	}
 	return q, nil
+}
+
+// catalogStats adapts the catalog's lazily maintained table statistics
+// to the optimizer's Stats interface. Cached compilation artifacts stay
+// sound: the query cache keys on the catalog version, which every DML
+// bump advances, so a tree canonicalized under stale row counts is
+// discarded with the version that produced it.
+type catalogStats struct {
+	cat *catalog.Catalog
+}
+
+func (s catalogStats) TableRows(name string) (float64, bool) {
+	t, ok := s.cat.Table(name)
+	if !ok {
+		return 0, false
+	}
+	return t.Stats().Rows, true
 }
 
 // CompileOnly parses and analyzes a query without the provenance rewrite

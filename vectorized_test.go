@@ -124,6 +124,37 @@ var logicCorpus = []string{
 	`SELECT PROVENANCE a FROM r WHERE a NOT IN (SELECT a FROM s WHERE c > 150)`,
 	`SELECT PROVENANCE a FROM r WHERE a >= (SELECT min(a) FROM s)`,
 	`SELECT PROVENANCE a FROM s ORDER BY a LIMIT 2`,
+	// ORDER BY / LIMIT / OFFSET shapes exercising VecSort/VecTopN/VecLimit
+	// (ties, DESC with NULLs, hidden sort columns, offsets past the end).
+	`SELECT a, b FROM pairs ORDER BY a, b DESC`,
+	`SELECT n FROM nums ORDER BY n DESC`,
+	`SELECT label FROM nums ORDER BY n LIMIT 3`,
+	`SELECT a FROM pairs ORDER BY b % 7, a LIMIT 3`,
+	`SELECT n FROM nums ORDER BY n LIMIT 2 OFFSET 2`,
+	`SELECT n FROM nums ORDER BY n LIMIT 0`,
+	`SELECT n FROM nums ORDER BY n OFFSET 99`,
+	`SELECT n FROM nums LIMIT 3`,
+	`SELECT a FROM pairs ORDER BY a LIMIT 10 OFFSET 1`,
+	// DISTINCT shapes exercising VecDistinct.
+	`SELECT DISTINCT b FROM pairs ORDER BY b DESC LIMIT 2`,
+	`SELECT DISTINCT n, label FROM nums`,
+	`SELECT DISTINCT a + 1 FROM pairs`,
+	// Set operations exercising VecSetOp (with sorts/limits above).
+	`SELECT a FROM pairs INTERSECT ALL SELECT n FROM nums`,
+	`SELECT a FROM pairs EXCEPT ALL SELECT n FROM nums`,
+	`SELECT a FROM pairs UNION ALL SELECT a FROM pairs ORDER BY 1 LIMIT 5`,
+	`SELECT a FROM pairs UNION SELECT n FROM nums ORDER BY 1 DESC`,
+	`SELECT n FROM nums UNION ALL SELECT n FROM nums UNION SELECT a FROM pairs`,
+	// The same blocking shapes under provenance rewrite: these are the
+	// pipelines PR 4 keeps columnar end to end.
+	`SELECT PROVENANCE a, b FROM pairs ORDER BY b DESC LIMIT 2`,
+	`SELECT PROVENANCE DISTINCT a FROM pairs ORDER BY a`,
+	`SELECT PROVENANCE n FROM nums ORDER BY n LIMIT 2 OFFSET 1`,
+	`SELECT PROVENANCE a FROM r UNION ALL SELECT a FROM s ORDER BY 1 LIMIT 4`,
+	`SELECT PROVENANCE a FROM r INTERSECT ALL SELECT a FROM s`,
+	`SELECT PROVENANCE b FROM r EXCEPT ALL SELECT b FROM r WHERE a = 2`,
+	`SELECT PROVENANCE x.a FROM (SELECT a FROM r ORDER BY a LIMIT 3) AS x WHERE x.a > 0`,
+	`SELECT PROVENANCE b, count(*) FROM r GROUP BY b ORDER BY count(*) DESC, b LIMIT 1`,
 }
 
 // TestVectorizedTransparency runs the optimizer-transparency corpus and
@@ -212,6 +243,50 @@ func TestVectorizedTransparencyTPCH(t *testing.T) {
 	}
 }
 
+// TestFig10ColumnarEndToEnd asserts the PR 4 acceptance shape on the
+// Fig. 10 benchmark queries: Q1/Q3/Q10, normal and with provenance, plan
+// with zero BatchToRow demotions except the top-level result sink, and
+// at least one provenance join publishes a runtime filter.
+func TestFig10ColumnarEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TPC-H plan test skipped with -short")
+	}
+	db := perm.NewDatabase()
+	tpch.MustLoad(db, 0.001, 42)
+	rng := tpch.NewRand(7)
+	sawRuntimeFilter := false
+	for _, n := range []int{1, 3, 10} {
+		q := tpch.MustQGen(n, rng)
+		for _, s := range q.Setup {
+			db.MustExec(s)
+		}
+		for _, v := range []struct{ name, text string }{
+			{"norm", q.Text},
+			{"prov", q.Provenance().Text},
+		} {
+			out, err := db.ExplainSQL(v.text)
+			if err != nil {
+				t.Fatalf("Q%d/%s: %v", n, v.name, err)
+			}
+			if got := strings.Count(out, "BatchToRow"); got != 1 {
+				t.Errorf("Q%d/%s: %d BatchToRow nodes, want exactly the top-level sink:\n%s", n, v.name, got, out)
+			}
+			if !strings.HasPrefix(out, "BatchToRow") {
+				t.Errorf("Q%d/%s: BatchToRow is not the plan root:\n%s", n, v.name, out)
+			}
+			if v.name == "prov" && strings.Contains(out, "RuntimeFilter") {
+				sawRuntimeFilter = true
+			}
+		}
+		for _, s := range q.Teardown {
+			db.MustExec(s)
+		}
+	}
+	if !sawRuntimeFilter {
+		t.Error("no provenance plan published a runtime filter")
+	}
+}
+
 // TestVectorizedGoldenExplain pins the EXPLAIN labelling of the
 // vectorized engine: a fully vectorized plan, a mixed plan whose
 // row-only top (sort) consumes a vectorized subtree through the
@@ -232,22 +307,22 @@ func TestVectorizedGoldenExplain(t *testing.T) {
 			want: strings.Join([]string{
 				"BatchToRow",
 				"  VecProject (2 cols)",
-				"    VecHashJoin (inner, 1 keys)",
-				"      VecScan (5 rows)",
+				"    VecHashJoin (inner, 1 keys, RuntimeFilter)",
+				"      VecScan (5 rows, RuntimeFilter)",
 				"      VecFilter",
 				"        VecScan (4 rows)",
 				"",
 			}, "\n"),
 		},
 		{
-			name: "mixed-row-fallback",
+			name: "vectorized-sort",
 			db:   on,
-			// ORDER BY forces a row-engine sort above the vectorized
-			// scan+filter+projection subtree.
+			// ORDER BY lowers to the columnar sort; the only BatchToRow
+			// left is the top-level result sink.
 			query: `SELECT n FROM nums WHERE n > 1 ORDER BY n`,
 			want: strings.Join([]string{
-				"Sort (1 keys)",
-				"  BatchToRow",
+				"BatchToRow",
+				"  VecSort (1 keys)",
 				"    VecProject (1 cols)",
 				"      VecFilter",
 				"        VecScan (5 rows)",
