@@ -1,13 +1,14 @@
 // Command benchjson runs the Fig. 10/13/14 benchmark queries under
-// paired engine configurations — vectorized execution on/off and the
-// logical optimizer on/off — and writes best-of-N wall times to a JSON
-// file. The output is the machine-readable perf trajectory checked in
-// per PR (BENCH_PR<N>.json), so future changes can diff against an
+// paired engine configurations — vectorized execution on/off, the
+// logical optimizer on/off, and the memory governor spilling (tiny
+// budget) vs fully in-memory — and writes best-of-N wall times to a
+// JSON file. The output is the machine-readable perf trajectory checked
+// in per PR (BENCH_PR<N>.json), so future changes can diff against an
 // explicit baseline instead of prose in CHANGES.md.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -sf 0.002 -runs 10 -out BENCH_PR4.json
+//	go run ./cmd/benchjson -sf 0.002 -runs 10 -out BENCH_PR5.json
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"perm"
+	"perm/internal/mem"
 	"perm/internal/synth"
 	"perm/internal/tpch"
 )
@@ -30,8 +32,10 @@ type Entry struct {
 	BaseNS     int64   `json:"base_ns"`     // all optimizations on (default engine)
 	VecOffNS   int64   `json:"vec_off_ns"`  // vectorized execution disabled
 	OptOffNS   int64   `json:"opt_off_ns"`  // logical optimizer disabled
+	SpillNS    int64   `json:"spill_ns"`    // tiny memory budget (forced spilling)
 	VecSpeedup float64 `json:"vec_speedup"` // vec_off / base
 	OptSpeedup float64 `json:"opt_speedup"` // opt_off / base
+	SpillCost  float64 `json:"spill_cost"`  // spill / base (spill-to-disk overhead)
 }
 
 // Report is the file layout.
@@ -39,6 +43,7 @@ type Report struct {
 	ScaleFactor float64 `json:"scale_factor"`
 	Runs        int     `json:"runs"`
 	Seed        uint64  `json:"seed"`
+	SpillBudget string  `json:"spill_budget"` // the spill config's session budget
 	GoVersion   string  `json:"go_version"`
 	Queries     []Entry `json:"queries"`
 }
@@ -95,13 +100,19 @@ func main() {
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
 	runs := flag.Int("runs", 10, "runs per query per config (best is kept)")
 	seed := flag.Uint64("seed", 42, "data generator seed")
-	out := flag.String("out", "BENCH_PR4.json", "output file")
+	out := flag.String("out", "BENCH_PR5.json", "output file")
+	budget := flag.String("spill-budget", "4MiB", "session memory budget of the spill config")
 	flag.Parse()
 
+	spillLimit, err := mem.ParseSize(*budget)
+	if err != nil {
+		fatal(err)
+	}
 	configs := []config{
-		{"base", perm.NewDatabase()},
-		{"vec-off", perm.NewDatabaseWithOptions(perm.Options{DisableVectorized: true})},
-		{"opt-off", perm.NewDatabaseWithOptions(perm.Options{DisableOptimizer: true})},
+		{"base", perm.NewDatabaseWithOptions(perm.Options{MemoryLimit: -1})},
+		{"vec-off", perm.NewDatabaseWithOptions(perm.Options{DisableVectorized: true, MemoryLimit: -1})},
+		{"opt-off", perm.NewDatabaseWithOptions(perm.Options{DisableOptimizer: true, MemoryLimit: -1})},
+		{"spill", perm.NewDatabaseWithOptions(perm.Options{MemoryLimit: spillLimit})},
 	}
 	for _, c := range configs {
 		tpch.MustLoad(c.db, *sf, *seed)
@@ -135,23 +146,24 @@ func main() {
 		jobs = append(jobs, job{fmt.Sprintf("aggchain%d/prov", agg), tpch.Query{Text: injectProv(q)}})
 	}
 
-	rep := Report{ScaleFactor: *sf, Runs: *runs, Seed: *seed, GoVersion: runtime.Version()}
+	rep := Report{ScaleFactor: *sf, Runs: *runs, Seed: *seed, SpillBudget: *budget, GoVersion: runtime.Version()}
 	for _, j := range jobs {
 		best, rows, err := bestOfPaired(configs, j.q, *runs)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %v", j.name, err))
 		}
-		ns := [3]int64{best[0].Nanoseconds(), best[1].Nanoseconds(), best[2].Nanoseconds()}
+		ns := [4]int64{best[0].Nanoseconds(), best[1].Nanoseconds(), best[2].Nanoseconds(), best[3].Nanoseconds()}
 		e := Entry{
 			Name: j.name, Rows: rows,
-			BaseNS: ns[0], VecOffNS: ns[1], OptOffNS: ns[2],
+			BaseNS: ns[0], VecOffNS: ns[1], OptOffNS: ns[2], SpillNS: ns[3],
 			VecSpeedup: round2(float64(ns[1]) / float64(ns[0])),
 			OptSpeedup: round2(float64(ns[2]) / float64(ns[0])),
+			SpillCost:  round2(float64(ns[3]) / float64(ns[0])),
 		}
 		rep.Queries = append(rep.Queries, e)
-		fmt.Printf("%-16s base=%-12v vec-off=%-12v (%.2fx)  opt-off=%-12v (%.2fx)\n",
+		fmt.Printf("%-16s base=%-12v vec-off=%-12v (%.2fx)  opt-off=%-12v (%.2fx)  spill=%-12v (%.2fx)\n",
 			j.name, time.Duration(ns[0]), time.Duration(ns[1]), e.VecSpeedup,
-			time.Duration(ns[2]), e.OptSpeedup)
+			time.Duration(ns[2]), e.OptSpeedup, time.Duration(ns[3]), e.SpillCost)
 	}
 
 	f, err := os.Create(*out)

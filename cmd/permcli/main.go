@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"perm"
+	"perm/internal/mem"
 	"perm/internal/session"
 	"perm/internal/tpch"
 	"perm/permclient"
@@ -36,14 +37,16 @@ type runner func(text string) (res *perm.Result, affected int, tag string, err e
 
 func main() {
 	var (
-		script  = flag.String("f", "", "execute a SQL script file and exit")
-		remote  = flag.String("remote", "", "connect to a permd server at this address instead of embedding an engine")
-		loadSF  = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor")
-		flatten = flag.Bool("flatten-setops", false, "use the Fig. 6(3a) set-operation rewrite variant")
-		noOpt   = flag.Bool("no-optimizer", false, "disable the logical optimizer (flattening/pruning of rewritten queries)")
-		noVec   = flag.Bool("no-vectorized", false, "disable the vectorized execution engine (run everything row-at-a-time)")
-		noCache = flag.Bool("no-query-cache", false, "disable the shared compiled-query cache")
-		timing  = flag.Bool("timing", true, "print execution times")
+		script   = flag.String("f", "", "execute a SQL script file and exit")
+		remote   = flag.String("remote", "", "connect to a permd server at this address instead of embedding an engine")
+		loadSF   = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor")
+		flatten  = flag.Bool("flatten-setops", false, "use the Fig. 6(3a) set-operation rewrite variant")
+		noOpt    = flag.Bool("no-optimizer", false, "disable the logical optimizer (flattening/pruning of rewritten queries)")
+		noVec    = flag.Bool("no-vectorized", false, "disable the vectorized execution engine (run everything row-at-a-time)")
+		noCache  = flag.Bool("no-query-cache", false, "disable the shared compiled-query cache")
+		memLimit = flag.String("memory-limit", "", "session memory budget, e.g. 64MiB (materializing operators spill to disk past it)")
+		spillDir = flag.String("spill-dir", "", "directory for spill files (default $PERM_SPILL_DIR or the system temp dir)")
+		timing   = flag.Bool("timing", true, "print execution times")
 	)
 	flag.Parse()
 
@@ -75,16 +78,36 @@ func main() {
 				}
 			}
 		}
+		if *memLimit != "" {
+			if err := client.Set("memory_limit", *memLimit); err != nil {
+				fmt.Fprintf(os.Stderr, "SET memory_limit: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *spillDir != "" {
+			fmt.Fprintln(os.Stderr, "-spill-dir applies to the embedded engine; start permd with -spill-dir instead")
+		}
 		run = func(text string) (*perm.Result, int, string, error) {
 			res, n, err := client.Exec(strings.TrimSuffix(strings.TrimSpace(text), ";"))
 			return res, n, "OK", err
 		}
 	} else {
+		limit := int64(0)
+		if *memLimit != "" {
+			n, err := mem.ParseSize(*memLimit)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "-memory-limit:", err)
+				os.Exit(1)
+			}
+			limit = n
+		}
 		db = perm.NewDatabaseWithOptions(perm.Options{
 			FlattenSetOps:     *flatten,
 			DisableOptimizer:  *noOpt,
 			DisableVectorized: *noVec,
 			DisableQueryCache: *noCache,
+			MemoryLimit:       limit,
+			SpillDir:          *spillDir,
 		})
 		if *loadSF > 0 {
 			fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)

@@ -21,24 +21,44 @@ import (
 	"time"
 
 	"perm"
+	"perm/internal/mem"
 	"perm/internal/server"
+	"perm/internal/spill"
 	"perm/internal/tpch"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:5433", "listen address")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing statements")
-		loadSF  = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor")
-		initSQL = flag.String("init", "", "run a SQL script before serving")
-		flatten = flag.Bool("flatten-setops", false, "use the Fig. 6(3a) set-operation rewrite variant")
-		noOpt   = flag.Bool("no-optimizer", false, "disable the logical optimizer")
-		noVec   = flag.Bool("no-vectorized", false, "disable the vectorized execution engine")
-		noCache = flag.Bool("no-query-cache", false, "disable the shared compiled-query cache")
-		cacheN  = flag.Int("query-cache-size", 0, "compiled-query cache capacity (0 = default 256)")
-		grace   = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
+		addr     = flag.String("addr", "127.0.0.1:5433", "listen address")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing statements")
+		loadSF   = flag.Float64("tpch", 0, "preload TPC-H data at this scale factor")
+		initSQL  = flag.String("init", "", "run a SQL script before serving")
+		flatten  = flag.Bool("flatten-setops", false, "use the Fig. 6(3a) set-operation rewrite variant")
+		noOpt    = flag.Bool("no-optimizer", false, "disable the logical optimizer")
+		noVec    = flag.Bool("no-vectorized", false, "disable the vectorized execution engine")
+		noCache  = flag.Bool("no-query-cache", false, "disable the shared compiled-query cache")
+		cacheN   = flag.Int("query-cache-size", 0, "compiled-query cache capacity (0 = default 256)")
+		memLimit = flag.String("memory-limit", "", "per-session memory budget, e.g. 64MiB (sessions spill to disk past it; default $PERM_MEMORY_LIMIT or unlimited)")
+		totalMem = flag.String("total-memory", "", "engine-wide memory cap across all sessions, e.g. 1GiB (default unlimited)")
+		spillDir = flag.String("spill-dir", "", "directory for spill files (default $PERM_SPILL_DIR or the system temp dir)")
+		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
+
+	sessionLimit := int64(0)
+	if *memLimit != "" {
+		n, err := mem.ParseSize(*memLimit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-memory-limit:", err)
+			os.Exit(1)
+		}
+		sessionLimit = n
+	}
+	// Sweep spill files a crashed predecessor may have left behind (live
+	// files are unlinked at creation, so only failed unlinks linger).
+	if n := spill.Cleanup(*spillDir); n > 0 {
+		fmt.Fprintf(os.Stderr, "removed %d stale spill files\n", n)
+	}
 
 	db := perm.NewDatabaseWithOptions(perm.Options{
 		FlattenSetOps:     *flatten,
@@ -46,7 +66,17 @@ func main() {
 		DisableVectorized: *noVec,
 		DisableQueryCache: *noCache,
 		QueryCacheSize:    *cacheN,
+		MemoryLimit:       sessionLimit,
+		SpillDir:          *spillDir,
 	})
+	if *totalMem != "" {
+		n, err := mem.ParseSize(*totalMem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-total-memory:", err)
+			os.Exit(1)
+		}
+		db.SetEngineMemoryLimit(n)
+	}
 	if *loadSF > 0 {
 		fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)
 		tpch.MustLoad(db, *loadSF, 42)
@@ -85,7 +115,9 @@ func main() {
 			os.Exit(1)
 		}
 		st := db.QueryCacheStats()
-		fmt.Fprintf(os.Stderr, "bye (query cache: %d hits, %d misses, %d invalidations)\n",
-			st.Hits, st.Misses, st.Invalidations)
+		qs := db.QueryStats()
+		spill.Cleanup(*spillDir)
+		fmt.Fprintf(os.Stderr, "bye (query cache: %d hits, %d misses, %d invalidations; memory peak %d B, spilled %d B in %d events)\n",
+			st.Hits, st.Misses, st.Invalidations, qs.PeakMemory, qs.BytesSpilled, qs.SpillEvents)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"perm/internal/eval"
+	"perm/internal/spill"
 	"perm/internal/types"
 )
 
@@ -659,27 +660,46 @@ type SortKey struct {
 }
 
 // Sort materializes and orders its input. NULLs sort last ascending,
-// first descending (PostgreSQL default).
+// first descending (PostgreSQL default). Under a memory budget (Spill)
+// it becomes an external merge sort over row-encoded spill runs; the
+// merged order is identical to the in-memory stable sort's because runs
+// hold consecutive input segments and ties resolve to the earlier run.
 type Sort struct {
 	Input Node
 	Keys  []SortKey
+	Spill spill.Resources
 
-	rows []types.Row
-	pos  int
+	rows     []types.Row
+	pos      int
+	accBytes int64
+	pending  int64
+	runs     []*spill.RowRun
+	merger   *rowRunMerger
 }
 
 // NewSort returns a sort node.
 func NewSort(input Node, keys []SortKey) *Sort { return &Sort{Input: input, Keys: keys} }
 
-func (s *Sort) Open() error {
-	rows, err := Collect(s.Input)
-	if err != nil {
-		return err
+// Spilled reports whether the sort went external.
+func (s *Sort) Spilled() bool { return len(s.runs) > 0 }
+
+// sortGrowQuantum batches the reservation's atomic traffic: the sort
+// asks for memory in chunks of this size rather than per row.
+const sortGrowQuantum = 16 << 10
+
+// rowBytes estimates the heap footprint of one boxed row.
+func rowBytes(r types.Row) int64 {
+	n := int64(24 + 48*len(r))
+	for _, v := range r {
+		n += int64(len(v.S))
 	}
-	sort.SliceStable(rows, func(i, j int) bool {
+	return n
+}
+
+func (s *Sort) sortRows() {
+	sort.SliceStable(s.rows, func(i, j int) bool {
 		for _, k := range s.Keys {
-			a, b := rows[i][k.Pos], rows[j][k.Pos]
-			c := compareForSort(a, b)
+			c := compareForSort(s.rows[i][k.Pos], s.rows[j][k.Pos])
 			if c == 0 {
 				continue
 			}
@@ -690,9 +710,102 @@ func (s *Sort) Open() error {
 		}
 		return false
 	})
-	s.rows = rows
-	s.pos = 0
+}
+
+// flushRun sorts the accumulated segment, writes it as one run and
+// releases its memory.
+func (s *Sort) flushRun() error {
+	if len(s.rows) == 0 {
+		return nil
+	}
+	s.sortRows()
+	run, err := spill.NewRowRun(s.Spill.Dir)
+	if err != nil {
+		return err
+	}
+	for _, r := range s.rows {
+		if err := run.WriteRow(r); err != nil {
+			run.Close() //nolint:errcheck — unwinding after a failed write
+			return err
+		}
+	}
+	if err := run.Finish(); err != nil {
+		run.Close() //nolint:errcheck
+		return err
+	}
+	s.Spill.Res.NoteSpill(run.Bytes())
+	s.runs = append(s.runs, run)
+	s.rows = nil
+	s.Spill.Res.Release(s.accBytes)
+	s.accBytes = 0
 	return nil
+}
+
+func (s *Sort) Open() (err error) {
+	s.rows, s.pos = nil, 0
+	s.accBytes, s.pending = 0, 0
+	s.merger = nil
+	s.closeRuns()
+	// A failed Open never sees a matching Close from the parent: unwind
+	// the spill state here (reserved bytes, written runs).
+	defer func() {
+		if err != nil {
+			s.closeRuns()
+			s.rows = nil
+			s.accBytes, s.pending = 0, 0
+			s.Spill.Res.ReleaseAll()
+		}
+	}()
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	budgeted := s.Spill.Enabled()
+	for {
+		r, err := s.Input.Next()
+		if err != nil {
+			s.Input.Close() //nolint:errcheck — unwinding after a failed drain
+			return err
+		}
+		if r == nil {
+			break
+		}
+		s.rows = append(s.rows, r)
+		if budgeted {
+			s.pending += rowBytes(r)
+			if s.pending >= sortGrowQuantum {
+				if !s.Spill.Res.Grow(s.pending) {
+					if err := s.flushRun(); err != nil {
+						s.Input.Close() //nolint:errcheck
+						return err
+					}
+					s.Spill.Res.Force(s.pending)
+				}
+				s.accBytes += s.pending
+				s.pending = 0
+			}
+		}
+	}
+	if err := s.Input.Close(); err != nil {
+		return err
+	}
+	if s.pending > 0 {
+		s.Spill.Res.Force(s.pending)
+		s.accBytes += s.pending
+		s.pending = 0
+	}
+	if len(s.runs) == 0 {
+		s.sortRows()
+		return nil
+	}
+	if err := s.flushRun(); err != nil {
+		return err
+	}
+	s.runs, err = s.reduceRuns()
+	if err != nil {
+		return err
+	}
+	s.merger, err = newRowRunMerger(s.runs, s.Keys)
+	return err
 }
 
 // compareForSort orders values treating NULL as greater than everything
@@ -711,6 +824,9 @@ func compareForSort(a, b types.Value) int {
 }
 
 func (s *Sort) Next() (types.Row, error) {
+	if s.merger != nil {
+		return s.merger.next()
+	}
 	if s.pos >= len(s.rows) {
 		return nil, nil
 	}
@@ -719,9 +835,122 @@ func (s *Sort) Next() (types.Row, error) {
 	return r, nil
 }
 
+func (s *Sort) closeRuns() {
+	for _, r := range s.runs {
+		r.Close() //nolint:errcheck — temp storage, already unlinked
+	}
+	s.runs = nil
+}
+
 func (s *Sort) Close() error {
 	s.rows = nil
+	s.merger = nil
+	s.closeRuns()
+	s.accBytes, s.pending = 0, 0
+	s.Spill.Res.ReleaseAll()
 	return nil
+}
+
+// sortMergeFanIn caps how many runs one merge pass reads; more runs
+// trigger intermediate passes (multi-pass external sort).
+const sortMergeFanIn = 8
+
+// reduceRuns merges runs down to the fan-in, earliest segments first so
+// the tie-break order survives intermediate passes.
+func (s *Sort) reduceRuns() ([]*spill.RowRun, error) {
+	runs := s.runs
+	for len(runs) > sortMergeFanIn {
+		m, err := newRowRunMerger(runs[:sortMergeFanIn], s.Keys)
+		if err != nil {
+			return runs, err
+		}
+		out, err := spill.NewRowRun(s.Spill.Dir)
+		if err != nil {
+			return runs, err
+		}
+		for {
+			r, err := m.next()
+			if err != nil {
+				out.Close() //nolint:errcheck
+				return runs, err
+			}
+			if r == nil {
+				break
+			}
+			if err := out.WriteRow(r); err != nil {
+				out.Close() //nolint:errcheck
+				return runs, err
+			}
+		}
+		if err := out.Finish(); err != nil {
+			out.Close() //nolint:errcheck
+			return runs, err
+		}
+		s.Spill.Res.NoteSpill(out.Bytes())
+		for _, r := range runs[:sortMergeFanIn] {
+			r.Close() //nolint:errcheck
+		}
+		runs = append([]*spill.RowRun{out}, runs[sortMergeFanIn:]...)
+	}
+	return runs, nil
+}
+
+// rowRunMerger is a k-way streaming merge over sorted row runs; ties
+// resolve to the lower run index (stability across segments).
+type rowRunMerger struct {
+	runs []*spill.RowRun
+	cur  []types.Row // current head row per run, nil = exhausted
+	keys []SortKey
+	heap []int
+}
+
+func newRowRunMerger(runs []*spill.RowRun, keys []SortKey) (*rowRunMerger, error) {
+	m := &rowRunMerger{runs: runs, cur: make([]types.Row, len(runs)), keys: keys}
+	for i, r := range runs {
+		row, err := r.ReadRow()
+		if err != nil {
+			return nil, err
+		}
+		m.cur[i] = row
+		if row != nil {
+			m.heap = append(m.heap, i)
+		}
+	}
+	spill.Heapify(m.heap, m.less)
+	return m, nil
+}
+
+func (m *rowRunMerger) less(a, b int) bool {
+	for _, k := range m.keys {
+		c := compareForSort(m.cur[a][k.Pos], m.cur[b][k.Pos])
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return a < b
+}
+
+func (m *rowRunMerger) next() (types.Row, error) {
+	if len(m.heap) == 0 {
+		return nil, nil
+	}
+	ri := m.heap[0]
+	out := m.cur[ri]
+	row, err := m.runs[ri].ReadRow()
+	if err != nil {
+		return nil, err
+	}
+	m.cur[ri] = row
+	if row == nil {
+		m.heap[0] = m.heap[len(m.heap)-1]
+		m.heap = m.heap[:len(m.heap)-1]
+	}
+	spill.DownHeap(m.heap, 0, m.less)
+	return out, nil
 }
 
 // Limit emits at most Count rows after skipping Offset rows. A negative

@@ -1,0 +1,313 @@
+// Package mem implements the hierarchical memory accountant of the Perm
+// engine: a per-engine Governor at the root, per-session Budgets below
+// it, and per-operator Reservations at the leaves. Materializing
+// operators (sorts, hash-join builds, hash aggregation, DISTINCT, set
+// operations) ask their reservation for memory as they accumulate data;
+// a denied grant is the signal to spill to disk (package spill) rather
+// than to fail the query, so a budget is a performance knob, never a
+// correctness hazard.
+//
+// Every grant is accounted at both the session and the engine level
+// atomically: concurrent sessions can exhaust their own budgets (and
+// start spilling) without ever pushing another session over the engine
+// limit unobserved. All counters are lock-free.
+package mem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Stats is a snapshot of an accountant level's cumulative counters.
+type Stats struct {
+	// InUse is the currently granted memory in bytes.
+	InUse int64
+	// Peak is the high-water mark of granted memory in bytes.
+	Peak int64
+	// BytesSpilled counts bytes written to spill files by operators
+	// charging this level.
+	BytesSpilled int64
+	// SpillEvents counts spill activations (runs/partitions written).
+	SpillEvents int64
+}
+
+// counters is one accounting level (the Governor root or a session
+// Budget share the same arithmetic).
+type counters struct {
+	limit        atomic.Int64
+	used         atomic.Int64
+	peak         atomic.Int64
+	bytesSpilled atomic.Int64
+	spillEvents  atomic.Int64
+}
+
+// tryGrow attempts to add n bytes at this level; over-limit attempts are
+// rolled back and denied. A limit of 0 means unlimited.
+func (c *counters) tryGrow(n int64) bool {
+	nu := c.used.Add(n)
+	if lim := c.limit.Load(); lim > 0 && nu > lim {
+		c.used.Add(-n)
+		return false
+	}
+	c.bumpPeak(nu)
+	return true
+}
+
+// grow adds n bytes unconditionally (forced accounting after a spill
+// could not free enough, so Release stays symmetric).
+func (c *counters) grow(n int64) {
+	c.bumpPeak(c.used.Add(n))
+}
+
+func (c *counters) bumpPeak(nu int64) {
+	for {
+		p := c.peak.Load()
+		if nu <= p || c.peak.CompareAndSwap(p, nu) {
+			return
+		}
+	}
+}
+
+func (c *counters) release(n int64) { c.used.Add(-n) }
+
+func (c *counters) noteSpill(bytes int64) {
+	c.bytesSpilled.Add(bytes)
+	c.spillEvents.Add(1)
+}
+
+func (c *counters) stats() Stats {
+	return Stats{
+		InUse:        c.used.Load(),
+		Peak:         c.peak.Load(),
+		BytesSpilled: c.bytesSpilled.Load(),
+		SpillEvents:  c.spillEvents.Load(),
+	}
+}
+
+// Governor is the engine-wide accounting root. A limit of 0 means the
+// engine total is unbounded (sessions may still be individually
+// bounded).
+type Governor struct {
+	c counters
+}
+
+// NewGovernor returns a governor with the given engine-wide limit in
+// bytes (0 = unlimited).
+func NewGovernor(limit int64) *Governor {
+	g := &Governor{}
+	g.c.limit.Store(limit)
+	return g
+}
+
+// SetLimit changes the engine-wide limit (0 = unlimited). In-flight
+// grants are unaffected; the next grow observes the new limit.
+func (g *Governor) SetLimit(n int64) {
+	if g == nil {
+		return
+	}
+	g.c.limit.Store(n)
+}
+
+// Limit returns the engine-wide limit (0 = unlimited).
+func (g *Governor) Limit() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.c.limit.Load()
+}
+
+// Stats returns the engine-wide counters.
+func (g *Governor) Stats() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	return g.c.stats()
+}
+
+// Session creates a session-level budget below the governor with the
+// given limit in bytes (0 = unlimited; the engine limit still applies).
+func (g *Governor) Session(limit int64) *Budget {
+	b := &Budget{gov: g}
+	b.c.limit.Store(limit)
+	return b
+}
+
+// Budget is a session-level accounting node. Reservations drawn from it
+// charge both the session and the engine.
+type Budget struct {
+	gov *Governor
+	c   counters
+}
+
+// Limit returns the session limit (0 = unlimited).
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.c.limit.Load()
+}
+
+// SetLimit changes the session limit (0 = unlimited).
+func (b *Budget) SetLimit(n int64) {
+	if b == nil {
+		return
+	}
+	b.c.limit.Store(n)
+}
+
+// Limited reports whether any level above an operator bounds its memory
+// (i.e. whether a denied grant — and therefore spilling — is possible).
+func (b *Budget) Limited() bool {
+	if b == nil {
+		return false
+	}
+	return b.c.limit.Load() > 0 || b.gov.Limit() > 0
+}
+
+// Stats returns the session counters.
+func (b *Budget) Stats() Stats {
+	if b == nil {
+		return Stats{}
+	}
+	return b.c.stats()
+}
+
+// Reserve opens an operator-level reservation named for diagnostics.
+// The zero-value/nil reservation is valid and unlimited.
+func (b *Budget) Reserve(op string) *Reservation {
+	if b == nil {
+		return nil
+	}
+	return &Reservation{b: b, op: op}
+}
+
+// Reservation is one operator's claim on a session budget. All methods
+// are safe on a nil reservation (no budget: every grant succeeds and
+// nothing is tracked), so operators can hold one unconditionally.
+type Reservation struct {
+	b    *Budget
+	op   string
+	used atomic.Int64
+}
+
+// Op returns the operator tag the reservation was opened with.
+func (r *Reservation) Op() string {
+	if r == nil {
+		return ""
+	}
+	return r.op
+}
+
+// Limited reports whether the reservation can ever deny a grant.
+func (r *Reservation) Limited() bool {
+	return r != nil && r.b.Limited()
+}
+
+// Grow requests n more bytes. A false return means some level's limit
+// would be exceeded and nothing was granted: the operator should spill,
+// Release what it freed, and retry (or Force as a last resort).
+func (r *Reservation) Grow(n int64) bool {
+	if r == nil || n <= 0 {
+		return true
+	}
+	if !r.b.c.tryGrow(n) {
+		return false
+	}
+	if !r.b.gov.c.tryGrow(n) {
+		r.b.c.release(n)
+		return false
+	}
+	r.used.Add(n)
+	return true
+}
+
+// Force accounts n bytes unconditionally. Operators use it when a single
+// unit of work (one input batch) exceeds the remaining budget even after
+// spilling everything else: the query must still complete, so the
+// overshoot is recorded rather than hidden.
+func (r *Reservation) Force(n int64) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.b.c.grow(n)
+	r.b.gov.c.grow(n)
+	r.used.Add(n)
+}
+
+// Release returns n bytes to the budget.
+func (r *Reservation) Release(n int64) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.used.Add(-n)
+	r.b.c.release(n)
+	r.b.gov.c.release(n)
+}
+
+// ReleaseAll returns everything the reservation holds (operator Close).
+// The reservation stays usable for a subsequent Open.
+func (r *Reservation) ReleaseAll() {
+	if r == nil {
+		return
+	}
+	n := r.used.Swap(0)
+	if n != 0 {
+		r.b.c.release(n)
+		r.b.gov.c.release(n)
+	}
+}
+
+// Used returns the bytes currently held by the reservation.
+func (r *Reservation) Used() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.used.Load()
+}
+
+// NoteSpill records bytes written to a spill file under this
+// reservation; the counters propagate to the session and engine levels.
+func (r *Reservation) NoteSpill(bytes int64) {
+	if r == nil {
+		return
+	}
+	r.b.c.noteSpill(bytes)
+	r.b.gov.c.noteSpill(bytes)
+}
+
+// ParseSize parses a human-readable byte size: a plain integer is bytes;
+// suffixes KB/MB/GB/TB are decimal and KiB/MiB/GiB/TiB binary (a bare
+// K/M/G/T is binary, matching PostgreSQL's work_mem units). The strings
+// "off", "unlimited" and "-1" parse to -1 (explicitly unlimited).
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	switch t {
+	case "off", "unlimited", "-1":
+		return -1, nil
+	}
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30}, {"tib", 1 << 40},
+		{"kb", 1000}, {"mb", 1000 * 1000}, {"gb", 1000 * 1000 * 1000}, {"tb", 1000 * 1000 * 1000 * 1000},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30}, {"t", 1 << 40},
+		{"b", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSpace(strings.TrimSuffix(t, u.suffix))
+			mult = u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 {
+		// Negative sizes other than the literal "-1" are rejected: a typo
+		// like "-64MiB" must not silently disarm the governor.
+		return 0, fmt.Errorf("invalid memory size %q (want e.g. 67108864, 64MiB, 64MB, or off)", s)
+	}
+	return n * mult, nil
+}

@@ -14,6 +14,8 @@ import (
 	"perm/internal/catalog"
 	"perm/internal/eval"
 	"perm/internal/exec"
+	"perm/internal/mem"
+	"perm/internal/spill"
 	"perm/internal/types"
 	"perm/internal/vexec"
 )
@@ -22,6 +24,8 @@ import (
 type Planner struct {
 	cat        *catalog.Catalog
 	vectorized bool
+	budget     *mem.Budget
+	spillDir   string
 }
 
 // New returns a planner with the vectorized lowering path enabled.
@@ -32,6 +36,25 @@ func New(cat *catalog.Catalog) *Planner { return &Planner{cat: cat, vectorized: 
 func (p *Planner) SetVectorized(on bool) *Planner {
 	p.vectorized = on
 	return p
+}
+
+// SetResources attaches the session memory budget and spill directory;
+// every materializing operator the planner builds takes a reservation
+// against the budget and spills to dir under pressure. A nil budget
+// disables accounting (operators stay fully in memory).
+func (p *Planner) SetResources(budget *mem.Budget, dir string) *Planner {
+	p.budget = budget
+	p.spillDir = dir
+	return p
+}
+
+// spillRes opens one operator's spill resources against the session
+// budget.
+func (p *Planner) spillRes(op string) spill.Resources {
+	if p.budget == nil {
+		return spill.Resources{}
+	}
+	return spill.Resources{Res: p.budget.Reserve(op), Dir: p.spillDir}
 }
 
 // Plan lowers a query tree to an executable node.
@@ -226,7 +249,9 @@ func (p *Planner) foldSetOp(item algebra.SetOpItem, branches map[int]*planned) (
 		// rows compare across kinds dynamically.
 		if p.vectorized && left.vnode != nil && right.vnode != nil &&
 			kindsMatch(left.kinds, right.kinds) {
-			p.setVNode(out, vexec.NewVecSetOp(left.vnode, right.vnode, kind, n.All))
+			vso := vexec.NewVecSetOp(left.vnode, right.vnode, kind, n.All)
+			vso.Spill = p.spillRes("setop")
+			p.setVNode(out, vso)
 			return out, nil
 		}
 		demote(left)
@@ -315,7 +340,9 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 	// 3. DISTINCT.
 	if q.Distinct {
 		if vnode != nil {
-			vnode = vexec.NewVecDistinct(vnode)
+			vd := vexec.NewVecDistinct(vnode)
+			vd.Spill = p.spillRes("distinct")
+			vnode = vd
 			node = vexec.NewRowSource(vnode)
 		} else {
 			node = exec.NewDistinct(node)
@@ -435,7 +462,9 @@ func (p *Planner) applySortLimit(q *algebra.Query, node exec.Node, vnode vexec.N
 				vnode = vexec.NewVecTopN(vnode, keys, count, offset)
 				count, offset = -1, 0 // the heap applied them
 			} else {
-				vnode = vexec.NewVecSort(vnode, keys)
+				vs := vexec.NewVecSort(vnode, keys)
+				vs.Spill = p.spillRes("sort")
+				vnode = vs
 			}
 			if strip != nil {
 				vnode = vexec.NewProject(vnode, strip)
@@ -443,7 +472,9 @@ func (p *Planner) applySortLimit(q *algebra.Query, node exec.Node, vnode vexec.N
 			node = vexec.NewRowSource(vnode)
 		} else {
 			vnode = nil
-			node = exec.NewSort(node, keys)
+			rs := exec.NewSort(node, keys)
+			rs.Spill = p.spillRes("sort")
+			node = rs
 			if hidden > outWidth {
 				// Strip hidden columns.
 				fns := make([]eval.Func, outWidth)
@@ -1142,6 +1173,7 @@ func (p *Planner) tryVecHashJoin(left, right *planned, leftKeyExprs, rightKeyExp
 		vjt = vexec.LeftJoin
 	}
 	vj := vexec.NewHashJoin(left.vnode, right.vnode, lk, rk, nullSafe, vjt, left.kinds, right.kinds)
+	vj.Spill = p.spillRes("hashjoin")
 	if vjt == vexec.InnerJoin && left.cols != nil {
 		// Left-join probe rows must survive to null-extend, so only inner
 		// joins may prune them at the source.
@@ -1678,7 +1710,9 @@ func (p *Planner) tryVecAgg(q *algebra.Query, input *planned, aggRefs []*algebra
 		}
 		specs[i] = spec
 	}
-	return vexec.NewHashAgg(input.vnode, groups, specs)
+	agg := vexec.NewHashAgg(input.vnode, groups, specs)
+	agg.Spill = p.spillRes("hashagg")
+	return agg
 }
 
 // mapToAggOutput rewrites an expression over the aggregation input into
@@ -2012,7 +2046,7 @@ func explainNode(n exec.Node, depth int, out *[]byte) {
 		*out = append(*out, fmt.Sprintf("HashAggregate (%d groups, %d aggs)\n", len(x.Groups), len(x.Aggs))...)
 		explainNode(x.Input, depth+1, out)
 	case *exec.Sort:
-		*out = append(*out, fmt.Sprintf("Sort (%d keys)\n", len(x.Keys))...)
+		*out = append(*out, fmt.Sprintf("Sort (%d keys%s)\n", len(x.Keys), spillTag(x.Spill))...)
 		explainNode(x.Input, depth+1, out)
 	case *exec.Limit:
 		*out = append(*out, "Limit\n"...)
@@ -2054,9 +2088,9 @@ func explainVNode(n vexec.Node, depth int, out *[]byte) {
 		explainVNode(x.Input, depth+1, out)
 	case *vexec.HashJoin:
 		if x.PublishesFilters() {
-			*out = append(*out, fmt.Sprintf("VecHashJoin (%s, %d keys, RuntimeFilter)\n", vecJoinName(x.Type), len(x.LeftKeys))...)
+			*out = append(*out, fmt.Sprintf("VecHashJoin (%s, %d keys, RuntimeFilter%s)\n", vecJoinName(x.Type), len(x.LeftKeys), spillTag(x.Spill))...)
 		} else {
-			*out = append(*out, fmt.Sprintf("VecHashJoin (%s, %d keys)\n", vecJoinName(x.Type), len(x.LeftKeys))...)
+			*out = append(*out, fmt.Sprintf("VecHashJoin (%s, %d keys%s)\n", vecJoinName(x.Type), len(x.LeftKeys), spillTag(x.Spill))...)
 		}
 		explainVNode(x.Left, depth+1, out)
 		explainVNode(x.Right, depth+1, out)
@@ -2065,10 +2099,10 @@ func explainVNode(n vexec.Node, depth int, out *[]byte) {
 		explainVNode(x.Left, depth+1, out)
 		explainVNode(x.Right, depth+1, out)
 	case *vexec.HashAgg:
-		*out = append(*out, fmt.Sprintf("VecHashAggregate (%d groups, %d aggs)\n", len(x.Groups), len(x.Aggs))...)
+		*out = append(*out, fmt.Sprintf("VecHashAggregate (%d groups, %d aggs%s)\n", len(x.Groups), len(x.Aggs), spillTag(x.Spill))...)
 		explainVNode(x.Input, depth+1, out)
 	case *vexec.VecSort:
-		*out = append(*out, fmt.Sprintf("VecSort (%d keys)\n", len(x.Keys))...)
+		*out = append(*out, fmt.Sprintf("VecSort (%d keys%s)\n", len(x.Keys), spillTag(x.Spill))...)
 		explainVNode(x.Input, depth+1, out)
 	case *vexec.VecTopN:
 		*out = append(*out, fmt.Sprintf("VecTopN (%d keys, keep %d)\n", len(x.Keys), x.Offset+x.Count)...)
@@ -2077,15 +2111,29 @@ func explainVNode(n vexec.Node, depth int, out *[]byte) {
 		*out = append(*out, "VecLimit\n"...)
 		explainVNode(x.Input, depth+1, out)
 	case *vexec.VecDistinct:
-		*out = append(*out, "VecDistinct\n"...)
+		if tag := spillTag(x.Spill); tag != "" {
+			*out = append(*out, fmt.Sprintf("VecDistinct (%s)\n", tag[2:])...)
+		} else {
+			*out = append(*out, "VecDistinct\n"...)
+		}
 		explainVNode(x.Input, depth+1, out)
 	case *vexec.VecSetOp:
-		*out = append(*out, fmt.Sprintf("VecSetOp (%s, all=%v)\n", setOpName(x.Kind), x.All)...)
+		*out = append(*out, fmt.Sprintf("VecSetOp (%s, all=%v%s)\n", setOpName(x.Kind), x.All, spillTag(x.Spill))...)
 		explainVNode(x.Left, depth+1, out)
 		explainVNode(x.Right, depth+1, out)
 	default:
 		*out = append(*out, fmt.Sprintf("%T\n", n)...)
 	}
+}
+
+// spillTag renders the EXPLAIN annotation of a spill-capable operator:
+// ", spill=on" when a memory budget can force it to disk, empty
+// otherwise.
+func spillTag(res spill.Resources) string {
+	if res.Enabled() {
+		return ", spill=on"
+	}
+	return ""
 }
 
 func vecJoinName(t vexec.JoinType) string {

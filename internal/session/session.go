@@ -12,6 +12,7 @@
 //	EXECUTE <name>                   run a prepared statement
 //	DEALLOCATE [PREPARE] <name>      drop a prepared statement
 //	SET <option> = on|off            session options (see SetOption)
+//	SET memory_limit = <size>        per-session memory budget (spill past it)
 //
 // A session is safe for concurrent use, but is designed for one client:
 // the server gives every connection its own session.
@@ -24,6 +25,7 @@ import (
 	"sync"
 
 	"perm"
+	"perm/internal/mem"
 )
 
 // Session is one client's state against a shared database.
@@ -32,14 +34,21 @@ type Session struct {
 	db       *perm.Database
 	prepared map[string]*perm.Prepared
 	portals  map[string]*perm.Cursor
+	// baseMemLimit is the server-configured memory limit the session
+	// started with; SET memory_limit = 0 restores it.
+	baseMemLimit int64
 }
 
 // New returns a session over the database (inheriting its options).
+// The session gets its own database handle — and therefore its own
+// memory budget under the shared engine governor — so concurrent
+// sessions spill independently instead of draining one shared budget.
 func New(db *perm.Database) *Session {
 	return &Session{
-		db:       db,
-		prepared: make(map[string]*perm.Prepared),
-		portals:  make(map[string]*perm.Cursor),
+		db:           db.WithOptions(db.Opts()),
+		prepared:     make(map[string]*perm.Prepared),
+		portals:      make(map[string]*perm.Cursor),
+		baseMemLimit: db.Opts().MemoryLimit,
 	}
 }
 
@@ -194,16 +203,15 @@ func (s *Session) Close() {
 	s.prepared = make(map[string]*perm.Prepared)
 }
 
-// SetOption changes one session option. Supported names (value on/off,
+// SetOption changes one session option. Boolean options (value on/off,
 // true/false, 1/0): flatten_setops, disable_optimizer,
-// disable_vectorized, disable_query_cache. Prepared statements are
-// re-prepared under the new options so EXECUTE always honours the
-// session's current settings.
+// disable_vectorized, disable_query_cache. memory_limit takes a byte
+// size ("64MiB", "4000000") bounding this session's materializing
+// operators — exhausted budgets spill to disk; "off"/"unlimited" lifts
+// the session limit and "0" restores the limit the server configured
+// this session with. Prepared statements are re-prepared under the new
+// options so EXECUTE always honours the session's current settings.
 func (s *Session) SetOption(name, value string) error {
-	on, err := parseBool(value)
-	if err != nil {
-		return err
-	}
 	// The whole read-modify-commit runs under the session lock (Prepare
 	// only touches shared engine state, never the session, so holding mu
 	// across it is safe): concurrent SetOption calls serialize instead of
@@ -212,17 +220,34 @@ func (s *Session) SetOption(name, value string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	opts := s.db.Opts()
-	switch strings.ToLower(name) {
-	case "flatten_setops":
-		opts.FlattenSetOps = on
-	case "disable_optimizer":
-		opts.DisableOptimizer = on
-	case "disable_vectorized":
-		opts.DisableVectorized = on
-	case "disable_query_cache":
-		opts.DisableQueryCache = on
-	default:
-		return fmt.Errorf("unknown option %q (have flatten_setops, disable_optimizer, disable_vectorized, disable_query_cache)", name)
+	if strings.EqualFold(strings.TrimSpace(name), "memory_limit") {
+		n, err := mem.ParseSize(value)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			// 0 restores the limit the server configured this session
+			// with (which may itself defer to PERM_MEMORY_LIMIT).
+			n = s.baseMemLimit
+		}
+		opts.MemoryLimit = n
+	} else {
+		on, err := parseBool(value)
+		if err != nil {
+			return err
+		}
+		switch strings.ToLower(name) {
+		case "flatten_setops":
+			opts.FlattenSetOps = on
+		case "disable_optimizer":
+			opts.DisableOptimizer = on
+		case "disable_vectorized":
+			opts.DisableVectorized = on
+		case "disable_query_cache":
+			opts.DisableQueryCache = on
+		default:
+			return fmt.Errorf("unknown option %q (have flatten_setops, disable_optimizer, disable_vectorized, disable_query_cache, memory_limit)", name)
+		}
 	}
 	db := s.db.WithOptions(opts)
 

@@ -1,0 +1,159 @@
+package spill
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"perm/internal/types"
+	"perm/internal/vector"
+)
+
+// buildCols assembles a test batch covering every vectorizable kind,
+// with NULLs sprinkled in.
+func buildCols(n int) []*vector.Vec {
+	ints := vector.NewVec(types.KindInt, n)
+	floats := vector.NewVec(types.KindFloat, n)
+	bools := vector.NewVec(types.KindBool, n)
+	strs := vector.NewVec(types.KindString, n)
+	dates := vector.NewVec(types.KindDate, n)
+	for i := 0; i < n; i++ {
+		ints.I[i] = int64(i * 3)
+		floats.F[i] = float64(i) * 0.5
+		bools.B[i] = i%2 == 0
+		strs.S[i] = string(rune('a'+i%26)) + "xyz"
+		dates.I[i] = int64(9000 + i)
+		if i%7 == 3 {
+			ints.Nulls.Set(i)
+			strs.Nulls.Set(i)
+		}
+	}
+	return []*vector.Vec{ints, floats, bools, strs, dates}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	run, err := NewRun(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	sizes := []int{1, 64, 100, 1024}
+	batches := make([][]*vector.Vec, len(sizes))
+	for bi, n := range sizes {
+		batches[bi] = buildCols(n)
+		if err := run.WriteCols(batches[bi], n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if run.Bytes() <= 0 {
+		t.Fatal("run reported zero bytes after writes")
+	}
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for bi, n := range sizes {
+		cols, got, err := run.ReadCols()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != n {
+			t.Fatalf("batch %d: %d rows, want %d", bi, got, n)
+		}
+		for c, v := range cols {
+			want := batches[bi][c]
+			if v.Kind != want.Kind {
+				t.Fatalf("batch %d col %d: kind %v, want %v", bi, c, v.Kind, want.Kind)
+			}
+			for i := 0; i < n; i++ {
+				a, b := v.Value(i), want.Value(i)
+				if a.String() != b.String() || a.Null != b.Null {
+					t.Fatalf("batch %d col %d row %d: %v != %v", bi, c, i, a, b)
+				}
+			}
+		}
+	}
+	if cols, n, err := run.ReadCols(); err != nil || cols != nil || n != 0 {
+		t.Fatalf("expected clean EOF, got %v rows=%d err=%v", cols, n, err)
+	}
+}
+
+func TestRowRunRoundTrip(t *testing.T) {
+	run, err := NewRowRun(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("hello"), types.NewBool(true)},
+		{types.NewNull(types.KindInt), types.NewString(""), types.NewFloat(-2.5)},
+		{types.NewDate(12345), types.NewInterval(2, 10), types.NullValue},
+		{},
+	}
+	for _, r := range rows {
+		if err := run.WriteRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for ri, want := range rows {
+		got, err := run.ReadRow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("row %d: %d cols, want %d", ri, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("row %d col %d: %#v != %#v", ri, i, got[i], want[i])
+			}
+		}
+	}
+	if got, err := run.ReadRow(); err != nil || got != nil {
+		t.Fatalf("expected clean EOF, got %v err=%v", got, err)
+	}
+}
+
+func TestTempFileHygiene(t *testing.T) {
+	dir := t.TempDir()
+	run, err := NewRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.WriteCols(buildCols(10), 10); err != nil {
+		t.Fatal(err)
+	}
+	// The file is unlinked at creation: the directory must already be
+	// empty while the run is still live.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir holds %d entries while run is open (early unlink failed)", len(ents))
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanupSweepsLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{FilePrefix + "1234", FilePrefix + "abcd"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "keep.txt"), []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if got := Cleanup(dir); got != 2 {
+		t.Fatalf("Cleanup removed %d files, want 2", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 || ents[0].Name() != "keep.txt" {
+		t.Fatalf("unexpected leftovers after Cleanup: %v", ents)
+	}
+}

@@ -3,11 +3,17 @@
 // multiplicities (and streams), INTERSECT ALL takes the minimum, EXCEPT
 // ALL subtracts; the set variants apply DISTINCT projection to the
 // multiset result. Output order is first appearance across the left then
-// right input, matching the row engine.
+// right input, matching the row engine. Under a memory budget the
+// distinct-row table spills partial records (row, per-side counts,
+// first-appearance sequence number) into hash partitions; partitions
+// merge the counts independently and a final sequence merge restores the
+// exact in-memory output order, multiplicities expanded on the fly.
 package vexec
 
 import (
 	"perm/internal/exec"
+	"perm/internal/spill"
+	"perm/internal/types"
 	"perm/internal/vector"
 )
 
@@ -18,6 +24,7 @@ type VecSetOp struct {
 	Left, Right Node
 	Kind        exec.SetOpKind
 	All         bool
+	Spill       spill.Resources
 
 	// Streaming state (UNION ALL).
 	phase int // 0 = left, 1 = right, 2 = done
@@ -27,6 +34,16 @@ type VecSetOp struct {
 	table  map[uint64][]int32
 	nL, mR []int64
 	emit   emitter
+
+	// Budget-driven spill state.
+	kinds    []types.Kind
+	seqs     []int64
+	seqCtr   int64
+	pending  int64
+	accBytes int64
+	ps       *partitionSet
+	merger   *seqMerger
+	outRuns  []*spill.Run
 }
 
 // NewVecSetOp returns a vectorized set-operation node.
@@ -38,7 +55,77 @@ func NewVecSetOp(left, right Node, kind exec.SetOpKind, all bool) *VecSetOp {
 // materializing (UNION ALL).
 func (s *VecSetOp) streaming() bool { return s.Kind == exec.Union && s.All }
 
-func (s *VecSetOp) Open() error {
+// Spilled reports whether the operator spilled partitions to disk.
+func (s *VecSetOp) Spilled() bool { return s.ps != nil }
+
+// stateKinds etc. implement groupStater over the per-side multiplicity
+// counters.
+func (s *VecSetOp) stateKinds() []types.Kind { return []types.Kind{types.KindInt, types.KindInt} }
+
+func (s *VecSetOp) reset() { s.nL, s.mR = s.nL[:0], s.mR[:0] }
+
+func (s *VecSetOp) newGroup() {
+	s.nL = append(s.nL, 0)
+	s.mR = append(s.mR, 0)
+}
+
+func (s *VecSetOp) appendState(g int, dst []*vector.Vec) {
+	appendI(dst[0], s.nL[g])
+	appendI(dst[1], s.mR[g])
+}
+
+func (s *VecSetOp) mergeState(g int, state []*vector.Vec, lane int) {
+	s.nL[g] += state[0].I[lane]
+	s.mR[g] += state[1].I[lane]
+}
+
+// countFor computes the output multiplicity of distinct row e under the
+// operation's multiset semantics.
+func (s *VecSetOp) countFor(e int) int64 {
+	var count int64
+	switch s.Kind {
+	case exec.Union:
+		// Set semantics: distinct union.
+		if s.nL[e]+s.mR[e] > 0 {
+			count = 1
+		}
+	case exec.Intersect:
+		count = s.nL[e]
+		if s.mR[e] < count {
+			count = s.mR[e]
+		}
+		if !s.All && count > 0 {
+			count = 1
+		}
+	case exec.Except:
+		if s.All {
+			count = s.nL[e] - s.mR[e]
+		} else if s.nL[e] > 0 && s.mR[e] == 0 {
+			count = 1
+		}
+	}
+	return count
+}
+
+// spillGroups flushes the live distinct-row table into the partition set
+// and resets it.
+func (s *VecSetOp) spillGroups() error {
+	if s.ps == nil {
+		s.ps = newPartitionSet(s.Spill, recordKinds(s.kinds, s), 0)
+	}
+	if err := flushGroupRecords(s.ps, &s.acc, s.seqs, s); err != nil {
+		return err
+	}
+	s.acc = colAccumulator{}
+	s.table = make(map[uint64][]int32)
+	s.seqs = s.seqs[:0]
+	s.nL, s.mR = s.nL[:0], s.mR[:0]
+	s.Spill.Res.Release(s.accBytes)
+	s.accBytes = 0
+	return nil
+}
+
+func (s *VecSetOp) Open() (err error) {
 	if s.streaming() {
 		s.phase = 0
 		return s.Left.Open()
@@ -46,6 +133,22 @@ func (s *VecSetOp) Open() error {
 	s.acc = colAccumulator{}
 	s.table = make(map[uint64][]int32)
 	s.nL, s.mR = s.nL[:0], s.mR[:0]
+	s.seqs = s.seqs[:0]
+	s.seqCtr, s.pending, s.accBytes = 0, 0, 0
+	s.ps, s.merger = nil, nil
+	closeRuns(s.outRuns)
+	s.outRuns = nil
+	// A failed Open never sees a matching Close from the parent: unwind
+	// the spill state here (reserved bytes, partition writers, outputs).
+	defer func() {
+		if err != nil {
+			s.ps.abandon()
+			closeRuns(s.outRuns)
+			s.outRuns = nil
+			s.acc = colAccumulator{}
+			s.Spill.Res.ReleaseAll()
+		}
+	}()
 	if err := s.Left.Open(); err != nil {
 		return err
 	}
@@ -67,42 +170,57 @@ func (s *VecSetOp) Open() error {
 		return err
 	}
 
-	// Emit multiplicities per distinct row, in first-appearance order.
-	var order []int32
-	for e := 0; e < s.acc.n; e++ {
-		var count int64
-		switch s.Kind {
-		case exec.Union:
-			// Set semantics: distinct union.
-			if s.nL[e]+s.mR[e] > 0 {
-				count = 1
-			}
-		case exec.Intersect:
-			count = s.nL[e]
-			if s.mR[e] < count {
-				count = s.mR[e]
-			}
-			if !s.All && count > 0 {
-				count = 1
-			}
-		case exec.Except:
-			if s.All {
-				count = s.nL[e] - s.mR[e]
-			} else if s.nL[e] > 0 && s.mR[e] == 0 {
-				count = 1
+	if s.ps == nil {
+		// Emit multiplicities per distinct row, in first-appearance order.
+		var order []int32
+		for e := 0; e < s.acc.n; e++ {
+			for i := int64(0); i < s.countFor(e); i++ {
+				order = append(order, int32(e))
 			}
 		}
-		for i := int64(0); i < count; i++ {
-			order = append(order, int32(e))
-		}
+		s.emit.reset(s.acc.cols, order)
+		return nil
 	}
-	s.emit.reset(s.acc.cols, order)
-	return nil
+	if s.pending > 0 {
+		s.Spill.Res.Force(s.pending)
+		s.accBytes += s.pending
+		s.pending = 0
+	}
+	if err := s.spillGroups(); err != nil {
+		return err
+	}
+	runs, err := s.ps.finish()
+	if err != nil {
+		return err
+	}
+	s.outRuns, err = processGroupPartitions(s.Spill, runs, s.kinds, s, func(res spill.Resources,
+		acc *colAccumulator, seqs []int64, order []int32) (*spill.Run, error) {
+		kept := order[:0]
+		for _, g := range order {
+			if s.countFor(int(g)) > 0 {
+				kept = append(kept, g)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, nil
+		}
+		return writeGroupRun(res, acc, kept, []types.Kind{types.KindInt, types.KindInt},
+			func(g int32, extra []*vector.Vec) {
+				appendI(extra[0], s.countFor(int(g)))
+				appendI(extra[1], seqs[g])
+			})
+	})
+	if err != nil {
+		return err
+	}
+	s.merger, err = newSeqMerger(s.outRuns, len(s.kinds), len(s.kinds), len(s.kinds)+1)
+	return err
 }
 
 // drain folds one input into the distinct-row table with per-side
-// multiplicities.
+// multiplicities, spilling partial records under budget pressure.
 func (s *VecSetOp) drain(in Node, left bool) error {
+	budgeted := s.Spill.Enabled()
 	for {
 		b, err := in.Next()
 		if err != nil {
@@ -112,7 +230,12 @@ func (s *VecSetOp) drain(in Node, left bool) error {
 			return nil
 		}
 		s.acc.initFrom(b)
+		if s.kinds == nil {
+			s.kinds = colKinds(b.Cols)
+		}
 		for _, i := range resolveSel(b, b.Sel) {
+			seq := s.seqCtr
+			s.seqCtr++
 			h := hashLanes(b.Cols, i)
 			e := int32(-1)
 			for _, gi := range s.table[h] {
@@ -125,8 +248,32 @@ func (s *VecSetOp) drain(in Node, left bool) error {
 				e = int32(s.acc.n)
 				s.table[h] = append(s.table[h], e)
 				s.acc.appendLane(b, i)
-				s.nL = append(s.nL, 0)
-				s.mR = append(s.mR, 0)
+				s.newGroup()
+				s.seqs = append(s.seqs, seq)
+				if budgeted {
+					s.pending += laneBytes(b.Cols, i) + groupOverheadBytes
+					if s.pending >= growQuantum {
+						if !s.Spill.Res.Grow(s.pending) {
+							if err := s.spillGroups(); err != nil {
+								return err
+							}
+							s.Spill.Res.Force(s.pending)
+							// The row just counted was flushed with the
+							// rest; recreate its group below.
+							e = -1
+						}
+						s.accBytes += s.pending
+						s.pending = 0
+					}
+				}
+			}
+			if e < 0 {
+				// The group was flushed mid-insert: restart it.
+				e = int32(s.acc.n)
+				s.table[h] = append(s.table[h], e)
+				s.acc.appendLane(b, i)
+				s.newGroup()
+				s.seqs = append(s.seqs, seq)
 			}
 			if left {
 				s.nL[e]++
@@ -139,6 +286,9 @@ func (s *VecSetOp) drain(in Node, left bool) error {
 
 func (s *VecSetOp) Next() (*vector.Batch, error) {
 	if !s.streaming() {
+		if s.merger != nil {
+			return s.merger.next()
+		}
 		return s.emit.next(), nil
 	}
 	for {
@@ -180,6 +330,11 @@ func (s *VecSetOp) Close() error {
 	s.emit.close()
 	s.acc = colAccumulator{}
 	s.table = nil
+	s.merger = nil
+	s.ps.abandon()
+	closeRuns(s.outRuns)
+	s.outRuns = nil
+	s.Spill.Res.ReleaseAll()
 	if s.streaming() {
 		// Inputs were closed as their phases completed; closing again is
 		// harmless for our nodes but skip the bookkeeping.

@@ -8,6 +8,8 @@ import (
 	"sort"
 
 	"perm/internal/exec"
+	"perm/internal/spill"
+	"perm/internal/types"
 	"perm/internal/vector"
 )
 
@@ -97,13 +99,23 @@ func (e *emitter) close() {
 
 // VecSort materializes its input into columns and orders it with a
 // column-wise multi-key comparator (stable, NULLS LAST ascending / first
-// descending — the row engine's convention exactly).
+// descending — the row engine's convention exactly). Under a memory
+// budget (Spill) it becomes an external merge sort: input segments that
+// no longer fit are sorted and written as spill runs, and the output is
+// a fan-in-capped multi-pass k-way merge whose order is identical to the
+// in-memory sort's.
 type VecSort struct {
 	Input Node
 	Keys  []exec.SortKey
+	Spill spill.Resources
 
-	acc  colAccumulator
-	emit emitter
+	acc      colAccumulator
+	emit     emitter
+	accBytes int64
+	kinds    []types.Kind
+	classes  []cmpClass
+	runs     []*spill.Run
+	merger   *runMerger
 }
 
 // NewVecSort returns a vectorized sort node.
@@ -111,11 +123,49 @@ func NewVecSort(input Node, keys []exec.SortKey) *VecSort {
 	return &VecSort{Input: input, Keys: keys}
 }
 
-func (s *VecSort) Open() error {
+// Spilled reports whether the sort went external (EXPLAIN/tests).
+func (s *VecSort) Spilled() bool { return len(s.runs) > 0 }
+
+// flushRun sorts the accumulated segment and writes it out as one run,
+// releasing the segment's memory.
+func (s *VecSort) flushRun() error {
+	if s.acc.n == 0 {
+		return nil
+	}
+	order := sortedOrder(s.acc.cols, s.acc.n, s.Keys, s.classes)
+	run, err := writeOrdered(s.Spill, s.acc.cols, order)
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, run)
 	s.acc = colAccumulator{}
+	s.Spill.Res.Release(s.accBytes)
+	s.accBytes = 0
+	return nil
+}
+
+func (s *VecSort) Open() (err error) {
+	s.acc = colAccumulator{}
+	s.accBytes = 0
+	s.merger = nil
+	closeRuns(s.runs)
+	s.runs = nil
+	// A failed Open never sees a matching Close from the parent, so the
+	// sort must unwind its own spill state: release reserved bytes and
+	// close any runs written before the error.
+	defer func() {
+		if err != nil {
+			closeRuns(s.runs)
+			s.runs = nil
+			s.acc = colAccumulator{}
+			s.accBytes = 0
+			s.Spill.Res.ReleaseAll()
+		}
+	}()
 	if err := s.Input.Open(); err != nil {
 		return err
 	}
+	budgeted := s.Spill.Enabled()
 	for {
 		b, err := s.Input.Next()
 		if err != nil {
@@ -125,42 +175,60 @@ func (s *VecSort) Open() error {
 		if b == nil {
 			break
 		}
-		s.acc.appendLanes(b, resolveSel(b, b.Sel))
+		if s.classes == nil {
+			s.kinds = colKinds(b.Cols)
+			s.classes = sortKeyClasses(s.Keys, b.Cols)
+		}
+		lanes := resolveSel(b, b.Sel)
+		if budgeted {
+			delta := batchBytes(b.Cols, lanes)
+			if !s.Spill.Res.Grow(delta) {
+				if err := s.flushRun(); err != nil {
+					s.Input.Close() //nolint:errcheck
+					return err
+				}
+				s.Spill.Res.Force(delta)
+			}
+			s.accBytes += delta
+		}
+		s.acc.appendLanes(b, lanes)
 	}
 	if err := s.Input.Close(); err != nil {
 		return err
 	}
-	order := make([]int32, s.acc.n)
-	for i := range order {
-		order[i] = int32(i)
+	if len(s.runs) == 0 {
+		order := sortedOrder(s.acc.cols, s.acc.n, s.Keys, s.classes)
+		s.emit.reset(s.acc.cols, order)
+		return nil
 	}
-	if s.acc.n > 0 {
-		classes := sortKeyClasses(s.Keys, s.acc.cols)
-		sort.SliceStable(order, func(x, y int) bool {
-			i, j := int(order[x]), int(order[y])
-			for k, key := range s.Keys {
-				col := s.acc.cols[key.Pos]
-				c := compareSortLanes(classes[k], col, i, col, j)
-				if c == 0 {
-					continue
-				}
-				if key.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
+	// External path: spill the tail segment too, reduce to the merge
+	// fan-in, and stream the final merge.
+	if err := s.flushRun(); err != nil {
+		return err
 	}
-	s.emit.reset(s.acc.cols, order)
-	return nil
+	s.runs, err = reduceRuns(s.Spill, s.runs, s.Keys, s.classes, s.kinds)
+	if err != nil {
+		return err
+	}
+	s.merger, err = newRunMerger(s.runs, s.Keys, s.classes, s.kinds)
+	return err
 }
 
-func (s *VecSort) Next() (*vector.Batch, error) { return s.emit.next(), nil }
+func (s *VecSort) Next() (*vector.Batch, error) {
+	if s.merger != nil {
+		return s.merger.next()
+	}
+	return s.emit.next(), nil
+}
 
 func (s *VecSort) Close() error {
 	s.emit.close()
 	s.acc = colAccumulator{}
+	s.merger = nil
+	closeRuns(s.runs)
+	s.runs = nil
+	s.accBytes = 0
+	s.Spill.Res.ReleaseAll()
 	return nil
 }
 
@@ -401,20 +469,108 @@ func (l *VecLimit) Close() error { return l.Input.Close() }
 // ---------------------------------------------------------------------------
 // VecDistinct
 
-// VecDistinct streams its input, passing through the first occurrence of
-// each distinct row (null-safe row equality, first-appearance order —
-// exactly the row engine's Distinct). Seen rows are copied into
-// accumulator columns so input batches are never retained.
+// VecDistinct emits the first occurrence of each distinct row (null-safe
+// row equality, first-appearance order — exactly the row engine's
+// Distinct). It streams — every row emitted before memory pressure hits
+// is provably a first occurrence — and only stops pipelining at the
+// moment a budget grant is actually denied: the seen-set is then flushed
+// as partial records (row, emitted flag, first-appearance sequence
+// number) into hash partitions and the remaining input is absorbed
+// without emitting. After the drain the partitions dedup independently
+// (the emitted flag suppresses rows that already left during the
+// streaming phase) and a final merge on the sequence numbers emits the
+// remaining first occurrences in exactly the in-memory order.
 type VecDistinct struct {
 	Input Node
+	Spill spill.Resources
 
 	acc    colAccumulator
 	table  map[uint64][]int32
 	selBuf []int
+
+	// Budget-driven spill state.
+	emitted  []bool // per group: left the operator during streaming
+	tail     bool   // spilled: no more emission until the final merge
+	kinds    []types.Kind
+	seqs     []int64
+	seqCtr   int64
+	pending  int64
+	accBytes int64
+	ps       *partitionSet
+	merger   *seqMerger
+	outRuns  []*spill.Run
 }
 
 // NewVecDistinct returns a vectorized duplicate-elimination node.
 func NewVecDistinct(input Node) *VecDistinct { return &VecDistinct{Input: input} }
+
+// Spilled reports whether the operator spilled partitions to disk.
+func (d *VecDistinct) Spilled() bool { return d.ps != nil }
+
+// stateKinds etc. implement groupStater: the only accumulator state is
+// whether the group's row already left the operator while it was still
+// streaming.
+func (d *VecDistinct) stateKinds() []types.Kind { return []types.Kind{types.KindBool} }
+func (d *VecDistinct) reset()                   { d.emitted = d.emitted[:0] }
+func (d *VecDistinct) newGroup()                { d.emitted = append(d.emitted, false) }
+func (d *VecDistinct) appendState(g int, dst []*vector.Vec) {
+	appendB(dst[0], d.emitted[g])
+}
+func (d *VecDistinct) mergeState(g int, state []*vector.Vec, lane int) {
+	d.emitted[g] = d.emitted[g] || state[0].B[lane]
+}
+
+// spillGroups flushes the live seen-set into the partition set and
+// resets the in-memory table.
+func (d *VecDistinct) spillGroups() error {
+	if d.ps == nil {
+		d.ps = newPartitionSet(d.Spill, recordKinds(d.kinds, d), 0)
+	}
+	if err := flushGroupRecords(d.ps, &d.acc, d.seqs, d); err != nil {
+		return err
+	}
+	d.acc = colAccumulator{}
+	d.table = make(map[uint64][]int32)
+	d.seqs = d.seqs[:0]
+	d.emitted = d.emitted[:0]
+	d.Spill.Res.Release(d.accBytes)
+	d.accBytes = 0
+	return nil
+}
+
+// insert adds lane i of b to the seen-set; it reports whether the row is
+// new (a first occurrence) relative to the current table epoch.
+func (d *VecDistinct) insert(b *vector.Batch, i int) bool {
+	h := hashLanes(b.Cols, i)
+	for _, gi := range d.table[h] {
+		if rowsEqual(b.Cols, i, d.acc.cols, int(gi)) {
+			return false
+		}
+	}
+	d.table[h] = append(d.table[h], int32(d.acc.n))
+	d.acc.appendLane(b, i)
+	return true
+}
+
+// account tracks one inserted group's bytes, spilling the table when the
+// budget denies the grant. It reports whether a spill happened.
+func (d *VecDistinct) account(b *vector.Batch, i int) (bool, error) {
+	d.pending += laneBytes(b.Cols, i) + groupOverheadBytes
+	if d.pending < growQuantum {
+		return false, nil
+	}
+	spilled := false
+	if !d.Spill.Res.Grow(d.pending) {
+		if err := d.spillGroups(); err != nil {
+			return false, err
+		}
+		d.Spill.Res.Force(d.pending)
+		spilled = true
+	}
+	d.accBytes += d.pending
+	d.pending = 0
+	return spilled, nil
+}
 
 func (d *VecDistinct) Open() error {
 	d.acc = colAccumulator{}
@@ -422,44 +578,157 @@ func (d *VecDistinct) Open() error {
 	if d.selBuf == nil {
 		d.selBuf = make([]int, 0, vector.BatchSize)
 	}
+	d.seqs = d.seqs[:0]
+	d.emitted = d.emitted[:0]
+	d.seqCtr, d.pending, d.accBytes = 0, 0, 0
+	d.ps, d.merger = nil, nil
+	d.tail = false
+	closeRuns(d.outRuns)
+	d.outRuns = nil
 	return d.Input.Open()
 }
 
 func (d *VecDistinct) Next() (*vector.Batch, error) {
+	if d.merger != nil {
+		return d.merger.next()
+	}
+	if d.tail {
+		return d.finishTail()
+	}
+	budgeted := d.Spill.Enabled()
 	for {
 		b, err := d.Input.Next()
 		if err != nil || b == nil {
 			return nil, err
 		}
 		d.acc.initFrom(b)
+		if d.kinds == nil {
+			d.kinds = colKinds(b.Cols)
+		}
 		out := d.selBuf[:0]
-		for _, i := range resolveSel(b, b.Sel) {
-			h := hashLanes(b.Cols, i)
-			dup := false
-			for _, gi := range d.table[h] {
-				if rowsEqual(b.Cols, i, d.acc.cols, int(gi)) {
-					dup = true
-					break
-				}
-			}
-			if dup {
+		lanes := resolveSel(b, b.Sel)
+		for idx := 0; idx < len(lanes); idx++ {
+			i := lanes[idx]
+			seq := d.seqCtr
+			d.seqCtr++
+			if !d.insert(b, i) {
 				continue
 			}
-			d.table[h] = append(d.table[h], int32(d.acc.n))
-			d.acc.appendLane(b, i)
 			out = append(out, i)
+			if !budgeted {
+				continue
+			}
+			d.seqs = append(d.seqs, seq)
+			d.emitted = append(d.emitted, true) // leaves with this batch
+			spilled, err := d.account(b, i)
+			if err != nil {
+				return nil, err
+			}
+			if spilled {
+				// Pipelining ends here: absorb the rest of this batch
+				// without emitting, then finish in tail mode. Everything
+				// emitted so far was flushed flagged emitted=true, so the
+				// final merge will not repeat it.
+				d.tail = true
+				for _, i2 := range lanes[idx+1:] {
+					seq2 := d.seqCtr
+					d.seqCtr++
+					if !d.insert(b, i2) {
+						continue
+					}
+					d.seqs = append(d.seqs, seq2)
+					d.emitted = append(d.emitted, false)
+					if _, err := d.account(b, i2); err != nil {
+						return nil, err
+					}
+				}
+				break
+			}
 		}
 		d.selBuf = out
-		if len(out) == 0 {
-			continue
+		if len(out) > 0 {
+			return &vector.Batch{N: b.N, Cols: b.Cols, Sel: out}, nil
 		}
-		return &vector.Batch{N: b.N, Cols: b.Cols, Sel: out}, nil
+		if d.tail {
+			return d.finishTail()
+		}
 	}
+}
+
+// finishTail absorbs the remaining input without emitting, merges the
+// partitions and streams the not-yet-emitted first occurrences in
+// sequence order.
+func (d *VecDistinct) finishTail() (*vector.Batch, error) {
+	for {
+		b, err := d.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for _, i := range resolveSel(b, b.Sel) {
+			seq := d.seqCtr
+			d.seqCtr++
+			if !d.insert(b, i) {
+				continue
+			}
+			d.seqs = append(d.seqs, seq)
+			d.emitted = append(d.emitted, false)
+			if _, err := d.account(b, i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d.pending > 0 {
+		d.Spill.Res.Force(d.pending)
+		d.accBytes += d.pending
+		d.pending = 0
+	}
+	if err := d.spillGroups(); err != nil {
+		return nil, err
+	}
+	runs, err := d.ps.finish()
+	if err != nil {
+		return nil, err
+	}
+	d.outRuns, err = processGroupPartitions(d.Spill, runs, d.kinds, d, func(res spill.Resources,
+		acc *colAccumulator, seqs []int64, order []int32) (*spill.Run, error) {
+		kept := order[:0]
+		for _, g := range order {
+			if !d.emitted[g] {
+				kept = append(kept, g)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, nil
+		}
+		return writeGroupRun(res, acc, kept, []types.Kind{types.KindInt}, func(g int32, extra []*vector.Vec) {
+			appendI(extra[0], seqs[g])
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.merger, err = newSeqMerger(d.outRuns, len(d.kinds), -1, len(d.kinds))
+	if err != nil {
+		return nil, err
+	}
+	d.tail = false
+	return d.merger.next()
 }
 
 func (d *VecDistinct) Close() error {
 	d.acc = colAccumulator{}
 	d.table = nil
+	d.merger = nil
+	d.tail = false
+	// The spill work happens in Next, so an error there relies on this
+	// Close to unwind partition writers still holding files.
+	d.ps.abandon()
+	closeRuns(d.outRuns)
+	d.outRuns = nil
+	d.Spill.Res.ReleaseAll()
 	return d.Input.Close()
 }
 

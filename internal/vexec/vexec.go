@@ -20,6 +20,7 @@ package vexec
 import (
 	"perm/internal/algebra"
 	"perm/internal/exec"
+	"perm/internal/spill"
 	"perm/internal/types"
 	"perm/internal/vector"
 )
@@ -313,6 +314,7 @@ type HashJoin struct {
 	LeftKinds   []types.Kind
 	RightKinds  []types.Kind
 	Publish     []*RuntimeFilter
+	Spill       spill.Resources
 
 	buildCols  []*vector.Vec
 	buildKeys  []*vector.Vec
@@ -325,6 +327,10 @@ type HashJoin struct {
 	outPos     int
 	emitOwned  []*vector.Vec
 	emitBuf    []*vector.Vec
+
+	grace      *graceJoin
+	buildBytes int64
+	leftOpen   bool
 }
 
 // NewHashJoin returns a vectorized hash join node.
@@ -348,7 +354,7 @@ func (j *HashJoin) PublishesFilters() bool {
 	return false
 }
 
-func (j *HashJoin) Open() error {
+func (j *HashJoin) Open() (err error) {
 	// A non-null-safe key pair outside the comparable classes can never
 	// match (the row engine's Equal would reject it too). Null-safe keys
 	// are exempt: NULL IS NOT DISTINCT FROM NULL matches regardless of
@@ -369,6 +375,18 @@ func (j *HashJoin) Open() error {
 	if err := j.Right.Open(); err != nil {
 		return err
 	}
+	j.grace = nil
+	j.buildBytes = 0
+	j.leftOpen = false
+	// A failed Open never sees a matching Close from the parent: unwind
+	// the spill state here (reserved bytes, grace partitions/outputs).
+	defer func() {
+		if err != nil {
+			j.grace.cleanup()
+			j.grace = nil
+			j.Spill.Res.ReleaseAll()
+		}
+	}()
 	j.buildCols = make([]*vector.Vec, len(j.RightKinds))
 	for c, k := range j.RightKinds {
 		j.buildCols[c] = vector.NewVec(k, 0)
@@ -379,6 +397,7 @@ func (j *HashJoin) Open() error {
 	}
 	var hashes []uint64
 	var lanes []int
+	budgeted := j.Spill.Enabled()
 	for {
 		b, err := j.Right.Next()
 		if err != nil {
@@ -411,15 +430,45 @@ func (j *HashJoin) Open() error {
 				lanes = append(lanes, i)
 			}
 		}
+		if budgeted && len(lanes) > 0 && j.grace == nil {
+			delta := batchBytes(b.Cols, lanes) + batchBytes(keys, lanes)
+			if !j.Spill.Res.Grow(delta) {
+				// Budget exhausted: go Grace. The rows accumulated so far
+				// are rehashed into build partitions on disk and the
+				// in-memory build storage is released; runtime filters
+				// stay unpublished (an unready filter admits everything,
+				// which is always safe).
+				g, gerr := j.startGrace(hashes)
+				if gerr != nil {
+					j.Right.Close() //nolint:errcheck
+					return gerr
+				}
+				j.grace = g
+				j.buildCols, j.buildKeys, hashes = nil, nil, nil
+				j.Spill.Res.Release(j.buildBytes)
+				j.buildBytes = 0
+			} else {
+				j.buildBytes += delta
+			}
+		}
 		if len(lanes) > 0 {
-			for c, col := range b.Cols {
-				j.buildCols[c].AppendLanes(col, lanes)
-			}
-			for k, kv := range keys {
-				j.buildKeys[k].AppendLanes(kv, lanes)
-			}
-			for _, i := range lanes {
-				hashes = append(hashes, hashLanes(keys, i))
+			if j.grace != nil {
+				for _, i := range lanes {
+					if err := j.grace.addBuild(b.Cols, keys, i); err != nil {
+						j.Right.Close() //nolint:errcheck
+						return err
+					}
+				}
+			} else {
+				for c, col := range b.Cols {
+					j.buildCols[c].AppendLanes(col, lanes)
+				}
+				for k, kv := range keys {
+					j.buildKeys[k].AppendLanes(kv, lanes)
+				}
+				for _, i := range lanes {
+					hashes = append(hashes, hashLanes(keys, i))
+				}
 			}
 		}
 		for k, kv := range keys {
@@ -428,6 +477,22 @@ func (j *HashJoin) Open() error {
 	}
 	if err := j.Right.Close(); err != nil {
 		return err
+	}
+
+	if j.grace != nil {
+		// Grace mode: partition the probe side and join the partition
+		// pairs; Next streams the seq-merged result.
+		if err := j.Left.Open(); err != nil {
+			return err
+		}
+		j.leftOpen = true
+		err := j.grace.runProbe()
+		cerr := j.Left.Close()
+		j.leftOpen = false
+		if err != nil {
+			return err
+		}
+		return cerr
 	}
 
 	// Assemble the chained hash table. Chains are threaded in reverse so
@@ -455,7 +520,11 @@ func (j *HashJoin) Open() error {
 	j.curBatch = nil
 	j.outL, j.outR = j.outL[:0], j.outR[:0]
 	j.outPos = 0
-	return j.Left.Open()
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	j.leftOpen = true
+	return nil
 }
 
 // keysMatch compares probe lane pi against build row bi.
@@ -480,7 +549,13 @@ func (j *HashJoin) keysMatch(probe []*vector.Vec, pi int, bi int) bool {
 	return true
 }
 
+// Spilled reports whether the join went Grace (spilled partitions).
+func (j *HashJoin) Spilled() bool { return j.grace != nil }
+
 func (j *HashJoin) Next() (*vector.Batch, error) {
+	if j.grace != nil {
+		return j.grace.merger.next()
+	}
 	for {
 		if j.outPos < len(j.outL) {
 			return j.emit(), nil
@@ -566,13 +641,22 @@ func (j *HashJoin) emit() *vector.Batch {
 }
 
 func (j *HashJoin) Close() error {
-	err := j.Left.Close()
+	var err error
+	if j.leftOpen {
+		err = j.Left.Close()
+		j.leftOpen = false
+	}
 	for _, v := range j.emitOwned {
 		v.Free()
 	}
 	j.emitOwned = j.emitOwned[:0]
 	j.buildCols, j.buildKeys, j.heads, j.next = nil, nil, nil, nil
 	j.curBatch = nil
+	if j.grace != nil {
+		j.grace.cleanup()
+		j.grace = nil
+	}
+	j.Spill.Res.ReleaseAll()
 	return err
 }
 
@@ -590,11 +674,18 @@ type AggSpec struct {
 
 // HashAgg groups input rows by the group expressions and computes
 // aggregates per group; output rows are group values followed by
-// aggregate results, exactly like the row engine's HashAgg.
+// aggregate results, exactly like the row engine's HashAgg. Under a
+// memory budget it spills Grace-style: when the group table no longer
+// fits, every group is flushed as a partial record (group values,
+// serialized accumulator state, first-appearance sequence number) into
+// hash partitions; partitions merge their partials independently after
+// the drain (repartitioning recursively on skew) and a final merge on
+// the sequence numbers reproduces the exact in-memory group order.
 type HashAgg struct {
 	Input  Node
 	Groups []*Expr
 	Aggs   []AggSpec
+	Spill  spill.Resources
 
 	groupCols []*vector.Vec
 	numGroups int
@@ -602,11 +693,92 @@ type HashAgg struct {
 	accs      []aggAcc
 	resVecs   []*vector.Vec
 	outPos    int
+
+	groupKinds []types.Kind
+	seqs       []int64
+	seqCtr     int64
+	pending    int64
+	accBytes   int64
+	ps         *partitionSet
+	merger     *seqMerger
+	outRuns    []*spill.Run
 }
 
 // NewHashAgg returns a vectorized hash aggregation node.
 func NewHashAgg(input Node, groups []*Expr, aggs []AggSpec) *HashAgg {
 	return &HashAgg{Input: input, Groups: groups, Aggs: aggs}
+}
+
+// Spilled reports whether the aggregation spilled partitions to disk.
+func (h *HashAgg) Spilled() bool { return h.ps != nil }
+
+// stateKinds etc. implement groupStater by concatenating every
+// aggregate's serialized accumulator columns.
+func (h *HashAgg) stateKinds() []types.Kind {
+	kinds := make([]types.Kind, 0, len(h.accs)*aggStateWidth)
+	for range h.accs {
+		kinds = append(kinds, aggStateKinds()...)
+	}
+	return kinds
+}
+
+func (h *HashAgg) reset() {
+	for ai := range h.accs {
+		h.accs[ai] = aggAcc{spec: h.accs[ai].spec, argKind: h.accs[ai].argKind}
+	}
+}
+
+func (h *HashAgg) newGroup() {
+	for ai := range h.accs {
+		h.accs[ai].addGroup()
+	}
+}
+
+func (h *HashAgg) appendState(g int, dst []*vector.Vec) {
+	for ai := range h.accs {
+		h.accs[ai].appendState(g, dst[ai*aggStateWidth:(ai+1)*aggStateWidth])
+	}
+}
+
+func (h *HashAgg) mergeState(g int, st []*vector.Vec, lane int) {
+	for ai := range h.accs {
+		h.accs[ai].mergeState(g, st[ai*aggStateWidth:(ai+1)*aggStateWidth], lane)
+	}
+}
+
+// spillGroups flushes the live group table as partial records and resets
+// it.
+func (h *HashAgg) spillGroups() error {
+	if h.ps == nil {
+		h.ps = newPartitionSet(h.Spill, recordKinds(h.groupKinds, h), 0)
+	}
+	acc := &colAccumulator{cols: h.groupCols, n: h.numGroups}
+	if err := flushGroupRecords(h.ps, acc, h.seqs, h); err != nil {
+		return err
+	}
+	for g, ge := range h.Groups {
+		h.groupCols[g] = vector.NewVec(ge.Kind(), 0)
+	}
+	h.table = make(map[uint64][]int32)
+	h.numGroups = 0
+	h.seqs = h.seqs[:0]
+	h.reset()
+	h.Spill.Res.Release(h.accBytes)
+	h.accBytes = 0
+	return nil
+}
+
+// insertGroup starts group state for lane i of the key vectors.
+func (h *HashAgg) insertGroup(keys []*vector.Vec, i int, hv uint64, seq int64) int {
+	g := h.numGroups
+	h.numGroups++
+	h.table[hv] = append(h.table[hv], int32(g))
+	for k, kv := range keys {
+		h.groupCols[k].AppendFrom(kv, i)
+	}
+	h.newGroup()
+	h.seqs = append(h.seqs, seq)
+	return g
 }
 
 // aggAcc holds the per-group accumulator state of one aggregate in
@@ -712,6 +884,65 @@ func (a *aggAcc) store(g int, arg *vector.Vec, i int) {
 	}
 }
 
+// aggStateWidth is the number of serialized state columns per aggregate
+// in a spilled partial-group record.
+const aggStateWidth = 8
+
+// aggStateKinds is the record layout of one aggregate's accumulator
+// state: count, sumI, sumF, sawAny, mmSet, mI, mF, mS.
+func aggStateKinds() []types.Kind {
+	return []types.Kind{
+		types.KindInt, types.KindInt, types.KindFloat,
+		types.KindBool, types.KindBool,
+		types.KindInt, types.KindFloat, types.KindString,
+	}
+}
+
+// appendState serializes group g's accumulator, one value per state
+// column.
+func (a *aggAcc) appendState(g int, dst []*vector.Vec) {
+	appendI(dst[0], a.count[g])
+	appendI(dst[1], a.sumI[g])
+	appendF(dst[2], a.sumF[g])
+	appendB(dst[3], a.sawAny[g])
+	appendB(dst[4], a.mmSet[g])
+	appendI(dst[5], a.mI[g])
+	appendF(dst[6], a.mF[g])
+	appendS(dst[7], a.mS[g])
+}
+
+// mergeState folds a serialized partial state into group g. All merges
+// are associative, so partials from any number of flush epochs combine
+// into exactly the state a single-pass aggregation would have built.
+func (a *aggAcc) mergeState(g int, st []*vector.Vec, lane int) {
+	a.count[g] += st[0].I[lane]
+	a.sumI[g] += st[1].I[lane]
+	a.sumF[g] += st[2].F[lane]
+	a.sawAny[g] = a.sawAny[g] || st[3].B[lane]
+	if !st[4].B[lane] {
+		return
+	}
+	mI, mF, mS := st[5].I[lane], st[6].F[lane], st[7].S[lane]
+	if !a.mmSet[g] {
+		a.mmSet[g] = true
+		a.mI[g], a.mF[g], a.mS[g] = mI, mF, mS
+		return
+	}
+	min := a.spec.Fn == algebra.AggMin
+	var better bool
+	switch a.argKind {
+	case types.KindFloat:
+		better = (min && mF < a.mF[g]) || (!min && mF > a.mF[g])
+	case types.KindString:
+		better = (min && mS < a.mS[g]) || (!min && mS > a.mS[g])
+	default: // int, date, and bool (stored in mI)
+		better = (min && mI < a.mI[g]) || (!min && mI > a.mI[g])
+	}
+	if better {
+		a.mI[g], a.mF[g], a.mS[g] = mI, mF, mS
+	}
+}
+
 // finalize boxes group g's result, mirroring the row engine's finalize.
 func (a *aggAcc) finalize(g int) types.Value {
 	switch a.spec.Fn {
@@ -751,17 +982,34 @@ func (a *aggAcc) finalize(g int) types.Value {
 	}
 }
 
-func (h *HashAgg) Open() error {
+func (h *HashAgg) Open() (err error) {
 	if err := h.Input.Open(); err != nil {
 		return err
 	}
 	defer h.Input.Close()
+	// A failed Open never sees a matching Close from the parent: unwind
+	// the spill state here (reserved bytes, partition writers, outputs).
+	defer func() {
+		if err != nil {
+			h.ps.abandon()
+			closeRuns(h.outRuns)
+			h.outRuns = nil
+			h.Spill.Res.ReleaseAll()
+		}
+	}()
 	h.groupCols = make([]*vector.Vec, len(h.Groups))
+	h.groupKinds = make([]types.Kind, len(h.Groups))
 	for g, ge := range h.Groups {
 		h.groupCols[g] = vector.NewVec(ge.Kind(), 0)
+		h.groupKinds[g] = ge.Kind()
 	}
 	h.table = make(map[uint64][]int32)
 	h.numGroups = 0
+	h.seqs = h.seqs[:0]
+	h.seqCtr, h.pending, h.accBytes = 0, 0, 0
+	h.ps, h.merger = nil, nil
+	closeRuns(h.outRuns)
+	h.outRuns = nil
 	h.accs = make([]aggAcc, len(h.Aggs))
 	for ai := range h.Aggs {
 		h.accs[ai].spec = h.Aggs[ai]
@@ -769,6 +1017,8 @@ func (h *HashAgg) Open() error {
 			h.accs[ai].argKind = h.Aggs[ai].Arg.Kind()
 		}
 	}
+	budgeted := h.Spill.Enabled()
+	stateBytes := int64(len(h.Aggs))*96 + groupOverheadBytes
 	for {
 		b, err := h.Input.Next()
 		if err != nil {
@@ -797,6 +1047,8 @@ func (h *HashAgg) Open() error {
 		}
 		for _, i := range resolveSel(b, b.Sel) {
 			hv := hashLanes(keys, i)
+			seq := h.seqCtr
+			h.seqCtr++
 			g := -1
 			for _, gi := range h.table[hv] {
 				if h.groupMatches(keys, i, int(gi)) {
@@ -805,14 +1057,22 @@ func (h *HashAgg) Open() error {
 				}
 			}
 			if g < 0 {
-				g = h.numGroups
-				h.numGroups++
-				h.table[hv] = append(h.table[hv], int32(g))
-				for k, kv := range keys {
-					h.groupCols[k].AppendFrom(kv, i)
-				}
-				for ai := range h.accs {
-					h.accs[ai].addGroup()
+				g = h.insertGroup(keys, i, hv, seq)
+				if budgeted {
+					h.pending += laneBytes(keys, i) + stateBytes
+					if h.pending >= growQuantum {
+						if !h.Spill.Res.Grow(h.pending) {
+							if err := h.spillGroups(); err != nil {
+								return err
+							}
+							h.Spill.Res.Force(h.pending)
+							// The group just started was flushed with the
+							// rest; restart it for this row.
+							g = h.insertGroup(keys, i, hv, seq)
+						}
+						h.accBytes += h.pending
+						h.pending = 0
+					}
 				}
 			}
 			for ai := range h.accs {
@@ -827,6 +1087,45 @@ func (h *HashAgg) Open() error {
 				h.Aggs[ai].Arg.FreeResult(av)
 			}
 		}
+	}
+	if h.ps != nil {
+		// Spilled: flush the tail epoch, merge partitions, stream the
+		// sequence merge.
+		if h.pending > 0 {
+			h.Spill.Res.Force(h.pending)
+			h.accBytes += h.pending
+			h.pending = 0
+		}
+		if err := h.spillGroups(); err != nil {
+			return err
+		}
+		runs, err := h.ps.finish()
+		if err != nil {
+			return err
+		}
+		resultKinds := make([]types.Kind, len(h.Aggs))
+		for ai := range h.Aggs {
+			resultKinds[ai] = h.Aggs[ai].ResultKind
+		}
+		h.outRuns, err = processGroupPartitions(h.Spill, runs, h.groupKinds, h, func(res spill.Resources,
+			acc *colAccumulator, seqs []int64, order []int32) (*spill.Run, error) {
+			if acc.n == 0 {
+				return nil, nil
+			}
+			extraKinds := append(append([]types.Kind{}, resultKinds...), types.KindInt)
+			return writeGroupRun(res, acc, order, extraKinds, func(g int32, extra []*vector.Vec) {
+				for ai := range h.accs {
+					appendValue(extra[ai], h.accs[ai].finalize(int(g)))
+				}
+				appendI(extra[len(extra)-1], seqs[g])
+			})
+		})
+		if err != nil {
+			return err
+		}
+		width := len(h.groupKinds) + len(h.Aggs)
+		h.merger, err = newSeqMerger(h.outRuns, width, -1, width)
+		return err
 	}
 	// Global aggregate over empty input: one row of defaults.
 	if h.numGroups == 0 && len(h.Groups) == 0 {
@@ -858,6 +1157,9 @@ func (h *HashAgg) groupMatches(keys []*vector.Vec, i int, g int) bool {
 }
 
 func (h *HashAgg) Next() (*vector.Batch, error) {
+	if h.merger != nil {
+		return h.merger.next()
+	}
 	if h.outPos >= h.numGroups {
 		return nil, nil
 	}
@@ -879,6 +1181,11 @@ func (h *HashAgg) Next() (*vector.Batch, error) {
 
 func (h *HashAgg) Close() error {
 	h.groupCols, h.resVecs, h.accs, h.table = nil, nil, nil, nil
+	h.merger = nil
+	h.ps.abandon()
+	closeRuns(h.outRuns)
+	h.outRuns = nil
+	h.Spill.Res.ReleaseAll()
 	return nil
 }
 

@@ -212,7 +212,13 @@ func TestOptimizerTransparencyTPCH(t *testing.T) {
 // so rewritten SPJ provenance queries plan as a single join over base
 // scans.
 func TestOptimizerGoldenExplain(t *testing.T) {
-	on, off := optPair(t, transparencyFixture)
+	// Pin the memory budget off: these tests golden-match plan shapes,
+	// and a PERM_MEMORY_LIMIT environment override would add spill=on
+	// annotations (covered by the dedicated spill tests).
+	on := perm.NewDatabaseWithOptions(perm.Options{MemoryLimit: -1})
+	off := perm.NewDatabaseWithOptions(perm.Options{DisableOptimizer: true, MemoryLimit: -1})
+	on.MustExec(transparencyFixture)
+	off.MustExec(transparencyFixture)
 
 	cases := []struct {
 		name  string

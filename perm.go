@@ -24,7 +24,9 @@ package perm
 
 import (
 	"fmt"
+	"os"
 	"strings"
+	"sync"
 
 	"perm/internal/algebra"
 	"perm/internal/analyze"
@@ -32,10 +34,12 @@ import (
 	"perm/internal/deparse"
 	"perm/internal/eval"
 	"perm/internal/exec"
+	"perm/internal/mem"
 	"perm/internal/optimize"
 	"perm/internal/plan"
 	"perm/internal/provrewrite"
 	"perm/internal/qcache"
+	"perm/internal/spill"
 	"perm/internal/sql"
 	"perm/internal/types"
 	"perm/internal/vexec"
@@ -55,6 +59,12 @@ type Database struct {
 	// derived via WithOptions share the cache without ever sharing an
 	// artifact compiled under different rewrite settings.
 	optsKey string
+	// gov is the engine-wide memory governor, shared by every handle
+	// derived via WithOptions; budget is this handle's session-level
+	// budget below it. Materializing operators draw reservations from
+	// the budget and spill to disk when a grant is denied.
+	gov    *mem.Governor
+	budget *mem.Budget
 }
 
 // Options configure a Database.
@@ -87,6 +97,55 @@ type Options struct {
 	// QueryCacheSize bounds the number of compiled statements kept in
 	// the shared cache (0 means the default of 256).
 	QueryCacheSize int
+
+	// MemoryLimit bounds, in bytes, the memory this handle's queries may
+	// hold in materializing operators (sorts, hash-join builds, hash
+	// aggregation, DISTINCT, set operations). When the budget is
+	// exhausted those operators spill to temporary files and complete
+	// with identical results, so the limit is a performance knob, never
+	// a correctness hazard. 0 consults the PERM_MEMORY_LIMIT environment
+	// variable (e.g. "64MiB") and falls back to unlimited; a negative
+	// value is explicitly unlimited. Handles derived via WithOptions
+	// (one per session) budget independently; the engine-wide total can
+	// additionally be capped with SetEngineMemoryLimit.
+	MemoryLimit int64
+
+	// SpillDir is the directory spill files are created under ("" =
+	// $PERM_SPILL_DIR, then the system temp directory). Files are
+	// unlinked at creation, so their storage is reclaimed even on a
+	// crash.
+	SpillDir string
+}
+
+// envLimitWarn makes sure a malformed PERM_MEMORY_LIMIT is reported
+// exactly once instead of silently disarming the governor.
+var envLimitWarn sync.Once
+
+// effectiveMemoryLimit resolves the session memory limit: an explicit
+// positive limit wins, negative means unlimited, and 0 defers to the
+// PERM_MEMORY_LIMIT environment variable.
+func effectiveMemoryLimit(opts Options) int64 {
+	switch {
+	case opts.MemoryLimit > 0:
+		return opts.MemoryLimit
+	case opts.MemoryLimit < 0:
+		return 0
+	}
+	if s := os.Getenv("PERM_MEMORY_LIMIT"); s != "" {
+		n, err := mem.ParseSize(s)
+		if err != nil {
+			// The env var is the only knob that arms the governor in many
+			// deployments; a typo must not silently mean "unlimited".
+			envLimitWarn.Do(func() {
+				fmt.Fprintf(os.Stderr, "perm: ignoring invalid PERM_MEMORY_LIMIT: %v\n", err)
+			})
+			return 0
+		}
+		if n > 0 {
+			return n
+		}
+	}
+	return 0
 }
 
 // NewDatabase returns an empty database with default options.
@@ -94,11 +153,14 @@ func NewDatabase() *Database { return NewDatabaseWithOptions(Options{}) }
 
 // NewDatabaseWithOptions returns an empty database.
 func NewDatabaseWithOptions(opts Options) *Database {
+	gov := mem.NewGovernor(0)
 	return &Database{
 		cat:     catalog.New(),
 		opts:    opts,
 		cache:   qcache.New(opts.QueryCacheSize),
 		optsKey: optionsFingerprint(opts),
+		gov:     gov,
+		budget:  gov.Session(effectiveMemoryLimit(opts)),
 	}
 }
 
@@ -106,15 +168,61 @@ func NewDatabaseWithOptions(opts Options) *Database {
 // compiled-query cache, but with different options. Sessions use this to
 // give each client its own settings without copying any state; the cache
 // keys compilation artifacts by option fingerprint, so handles with
-// different rewrite settings never share a compiled tree.
+// different rewrite settings never share a compiled tree. The handle
+// gets its own session memory budget under the shared engine governor,
+// so per-session limits are independent while the engine total stays
+// accounted in one place.
 func (db *Database) WithOptions(opts Options) *Database {
 	return &Database{
 		cat:     db.cat,
 		opts:    opts,
 		cache:   db.cache,
 		optsKey: optionsFingerprint(opts),
+		gov:     db.gov,
+		budget:  db.gov.Session(effectiveMemoryLimit(opts)),
 	}
 }
+
+// SetEngineMemoryLimit caps the total memory the engine's materializing
+// operators may hold across every session sharing this database's
+// catalog (0 = unlimited). Independent per-session limits come from
+// Options.MemoryLimit.
+func (db *Database) SetEngineMemoryLimit(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	db.gov.SetLimit(n)
+}
+
+// QueryStats reports the engine-wide execution-resource counters:
+// memory currently reserved by materializing operators, its high-water
+// mark, and the cumulative spill volume.
+type QueryStats struct {
+	MemoryInUse  int64  // bytes currently reserved by operators
+	PeakMemory   int64  // high-water mark of reserved bytes
+	BytesSpilled int64  // cumulative bytes written to spill files
+	SpillEvents  uint64 // spill activations (runs/partitions written)
+}
+
+func statsFrom(s mem.Stats) QueryStats {
+	return QueryStats{
+		MemoryInUse:  s.InUse,
+		PeakMemory:   s.Peak,
+		BytesSpilled: s.BytesSpilled,
+		SpillEvents:  uint64(s.SpillEvents),
+	}
+}
+
+// QueryStats returns the engine-wide counters (all sessions).
+func (db *Database) QueryStats() QueryStats { return statsFrom(db.gov.Stats()) }
+
+// SessionQueryStats returns the counters of this handle's session
+// budget only.
+func (db *Database) SessionQueryStats() QueryStats { return statsFrom(db.budget.Stats()) }
+
+// MemoryLimit returns this handle's effective session memory limit in
+// bytes (0 = unlimited).
+func (db *Database) MemoryLimit() int64 { return db.budget.Limit() }
 
 // Opts returns the options of this database handle.
 func (db *Database) Opts() Options { return db.opts }
@@ -479,7 +587,9 @@ func (db *Database) ExplainSQL(text string) (string, error) {
 
 // planner returns a planner configured from the database options.
 func (db *Database) planner() *plan.Planner {
-	return plan.New(db.cat).SetVectorized(!db.opts.DisableVectorized)
+	return plan.New(db.cat).
+		SetVectorized(!db.opts.DisableVectorized).
+		SetResources(db.budget, spill.ResolveDir(db.opts.SpillDir))
 }
 
 // Catalog introspection.

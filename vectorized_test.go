@@ -292,7 +292,13 @@ func TestFig10ColumnarEndToEnd(t *testing.T) {
 // row-only top (sort) consumes a vectorized subtree through the
 // batch→row adapter, and the -no-vectorized output.
 func TestVectorizedGoldenExplain(t *testing.T) {
-	on, off := vecPair(t, vecFixture)
+	// Pin the memory budget off: these tests golden-match plan shapes,
+	// and a PERM_MEMORY_LIMIT environment override would add spill=on
+	// annotations (covered by the dedicated spill tests).
+	on := perm.NewDatabaseWithOptions(perm.Options{MemoryLimit: -1})
+	off := perm.NewDatabaseWithOptions(perm.Options{DisableVectorized: true, MemoryLimit: -1})
+	on.MustExec(vecFixture)
+	off.MustExec(vecFixture)
 
 	cases := []struct {
 		name  string
