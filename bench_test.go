@@ -388,6 +388,7 @@ func BenchmarkAblationVectorized(b *testing.B) {
 			}
 			if !variant.disable {
 				b.Run("alloc-budget/scan-filter-project", benchVecAllocBudget)
+				b.Run("alloc-budget/parallel-exchange", benchParallelAllocBudget)
 			}
 		})
 	}
@@ -466,6 +467,129 @@ func benchVecAllocBudget(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		drain()
+	}
+}
+
+// allocBudgetPerParallelDrain bounds one full drain of the same pipeline
+// behind a 4-worker Exchange. Worker-side batches still recycle through
+// the shared (goroutine-safe) buffer pool; only the exchange's handoff
+// copies are fresh unpooled vectors — a per-batch constant, not
+// per-row — plus the per-Open goroutine/channel setup. A blowout here
+// means pooled buffers started crossing goroutines (each would need a
+// defensive copy or, worse, corrupt a recycled batch).
+const allocBudgetPerParallelDrain = 3000
+
+// benchParallelAllocBudget asserts the exchange keeps the parallel
+// pipeline's steady-state allocation rate flat.
+func benchParallelAllocBudget(b *testing.B) {
+	const n, workers = 32 * 1024, 4
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 97))}
+	}
+	kinds := []types.Kind{types.KindInt, types.KindInt}
+	cols, ok := vector.FromRows(rows, kinds)
+	if !ok {
+		b.Fatal("rows do not pivot")
+	}
+	v := func(col int) algebra.Expr { return &algebra.Var{RT: 0, Col: col, Typ: types.KindInt} }
+	c := func(x int64) algebra.Expr { return &algebra.Const{Val: types.NewInt(x)} }
+	// Compiled expressions carry per-instance scratch state, so every
+	// worker replica compiles its own copies, exactly as the planner does.
+	replicas := make([]vexec.Node, workers)
+	drivers := make([]*vexec.ColScan, workers)
+	srcs := make([]vexec.TagSource, workers)
+	for w := 0; w < workers; w++ {
+		pred, err := vexec.CompileExpr(&algebra.BinOp{
+			Op:    "=",
+			Left:  &algebra.BinOp{Op: "%", Left: v(0), Right: c(3), Typ: types.KindInt},
+			Right: c(0), Typ: types.KindBool,
+		}, benchBinder{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		proj, err := vexec.CompileExprs([]algebra.Expr{
+			&algebra.BinOp{Op: "+", Left: v(0), Right: v(1), Typ: types.KindInt},
+			v(1),
+		}, benchBinder{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scan := vexec.NewColScan(cols, n)
+		drivers[w], srcs[w] = scan, scan
+		replicas[w] = vexec.NewProject(vexec.NewFilter(scan, pred), proj)
+	}
+	pipeline := vexec.NewExchange(replicas, drivers, srcs, vexec.NewMorsels(n))
+	drain := func() {
+		if err := pipeline.Open(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			batch, err := pipeline.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if batch == nil {
+				break
+			}
+		}
+		if err := pipeline.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	drain() // warm the pool
+	allocs := testing.AllocsPerRun(10, drain)
+	b.ReportMetric(allocs, "allocs/drain")
+	if allocs > allocBudgetPerParallelDrain {
+		b.Fatalf("parallel pipeline allocated %.0f times per drain (budget %d): exchange or pool recycling regressed",
+			allocs, allocBudgetPerParallelDrain)
+	}
+	for i := 0; i < b.N; i++ {
+		drain()
+	}
+}
+
+// BenchmarkParallelSpeedup measures morsel-driven parallel execution
+// against the serial plan (workers=1) on the queries the parallel site
+// finder targets hardest: the Fig. 10 scan-heavy provenance rewrites and
+// an SPJ chain. Wall-clock speedup tracks the host's core count — on a
+// single-core runner the interesting signal is the absence of regression
+// at workers=1 and bounded overhead at workers=4.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		workers int
+	}{{"workers-1", 1}, {"workers-4", 4}} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			db := perm.NewDatabaseWithOptions(perm.Options{MemoryLimit: -1, Parallelism: variant.workers})
+			tpch.MustLoad(db, benchSF, 42)
+			maxKey, err := db.TableRowCount("part")
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := tpch.NewRand(7)
+			for _, n := range []int{1, 15} {
+				q := tpch.MustQGen(n, rng)
+				b.Run(fmt.Sprintf("Q%d/norm", n), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						runBenchQuery(b, db, q)
+					}
+				})
+				b.Run(fmt.Sprintf("Q%d/prov", n), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						runBenchQuery(b, db, q.Provenance())
+					}
+				})
+			}
+			spjRng := tpch.NewRand(4)
+			q := injectProv(synth.SPJQuery(spjRng, 4, maxKey))
+			b.Run("spj4/prov", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runBenchQuery(b, db, tpch.Query{Text: q})
+				}
+			})
+		})
 	}
 }
 

@@ -1,14 +1,15 @@
 // Command benchjson runs the Fig. 10/13/14 benchmark queries under
 // paired engine configurations — vectorized execution on/off, the
-// logical optimizer on/off, and the memory governor spilling (tiny
-// budget) vs fully in-memory — and writes best-of-N wall times to a
-// JSON file. The output is the machine-readable perf trajectory checked
-// in per PR (BENCH_PR<N>.json), so future changes can diff against an
-// explicit baseline instead of prose in CHANGES.md.
+// logical optimizer on/off, the memory governor spilling (tiny budget)
+// vs fully in-memory, and morsel-driven parallel execution vs the
+// serial plan — and writes best-of-N wall times to a JSON file. The
+// output is the machine-readable perf trajectory checked in per PR
+// (BENCH_PR<N>.json), so future changes can diff against an explicit
+// baseline instead of prose in CHANGES.md.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -sf 0.002 -runs 10 -out BENCH_PR5.json
+//	go run ./cmd/benchjson -sf 0.002 -runs 10 -parallelism 4 -out BENCH_PR6.json
 package main
 
 import (
@@ -29,13 +30,15 @@ import (
 type Entry struct {
 	Name       string  `json:"name"`
 	Rows       int     `json:"rows"`
-	BaseNS     int64   `json:"base_ns"`     // all optimizations on (default engine)
+	BaseNS     int64   `json:"base_ns"`     // all optimizations on, serial plan (workers=1)
 	VecOffNS   int64   `json:"vec_off_ns"`  // vectorized execution disabled
 	OptOffNS   int64   `json:"opt_off_ns"`  // logical optimizer disabled
 	SpillNS    int64   `json:"spill_ns"`    // tiny memory budget (forced spilling)
+	ParNS      int64   `json:"par_ns"`      // parallel plan at -parallelism workers
 	VecSpeedup float64 `json:"vec_speedup"` // vec_off / base
 	OptSpeedup float64 `json:"opt_speedup"` // opt_off / base
 	SpillCost  float64 `json:"spill_cost"`  // spill / base (spill-to-disk overhead)
+	ParSpeedup float64 `json:"par_speedup"` // base / par (parallel speedup vs workers=1)
 }
 
 // Report is the file layout.
@@ -44,6 +47,8 @@ type Report struct {
 	Runs        int     `json:"runs"`
 	Seed        uint64  `json:"seed"`
 	SpillBudget string  `json:"spill_budget"` // the spill config's session budget
+	Parallelism int     `json:"parallelism"`  // the parallel config's worker count
+	NumCPU      int     `json:"num_cpu"`      // cores available to the measurement
 	GoVersion   string  `json:"go_version"`
 	Queries     []Entry `json:"queries"`
 }
@@ -100,19 +105,24 @@ func main() {
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
 	runs := flag.Int("runs", 10, "runs per query per config (best is kept)")
 	seed := flag.Uint64("seed", 42, "data generator seed")
-	out := flag.String("out", "BENCH_PR5.json", "output file")
+	out := flag.String("out", "BENCH_PR6.json", "output file")
 	budget := flag.String("spill-budget", "4MiB", "session memory budget of the spill config")
+	paraN := flag.Int("parallelism", 4, "worker count of the parallel config")
 	flag.Parse()
 
 	spillLimit, err := mem.ParseSize(*budget)
 	if err != nil {
 		fatal(err)
 	}
+	// Every serial config pins Parallelism to 1 explicitly so the
+	// ablation ratios stay serial-vs-serial regardless of the host's
+	// core count or $PERM_PARALLELISM; only the parallel config fans out.
 	configs := []config{
-		{"base", perm.NewDatabaseWithOptions(perm.Options{MemoryLimit: -1})},
-		{"vec-off", perm.NewDatabaseWithOptions(perm.Options{DisableVectorized: true, MemoryLimit: -1})},
-		{"opt-off", perm.NewDatabaseWithOptions(perm.Options{DisableOptimizer: true, MemoryLimit: -1})},
-		{"spill", perm.NewDatabaseWithOptions(perm.Options{MemoryLimit: spillLimit})},
+		{"base", perm.NewDatabaseWithOptions(perm.Options{MemoryLimit: -1, Parallelism: 1})},
+		{"vec-off", perm.NewDatabaseWithOptions(perm.Options{DisableVectorized: true, MemoryLimit: -1, Parallelism: 1})},
+		{"opt-off", perm.NewDatabaseWithOptions(perm.Options{DisableOptimizer: true, MemoryLimit: -1, Parallelism: 1})},
+		{"spill", perm.NewDatabaseWithOptions(perm.Options{MemoryLimit: spillLimit, Parallelism: 1})},
+		{"parallel", perm.NewDatabaseWithOptions(perm.Options{MemoryLimit: -1, Parallelism: *paraN})},
 	}
 	for _, c := range configs {
 		tpch.MustLoad(c.db, *sf, *seed)
@@ -146,24 +156,28 @@ func main() {
 		jobs = append(jobs, job{fmt.Sprintf("aggchain%d/prov", agg), tpch.Query{Text: injectProv(q)}})
 	}
 
-	rep := Report{ScaleFactor: *sf, Runs: *runs, Seed: *seed, SpillBudget: *budget, GoVersion: runtime.Version()}
+	rep := Report{ScaleFactor: *sf, Runs: *runs, Seed: *seed, SpillBudget: *budget,
+		Parallelism: *paraN, NumCPU: runtime.NumCPU(), GoVersion: runtime.Version()}
 	for _, j := range jobs {
 		best, rows, err := bestOfPaired(configs, j.q, *runs)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %v", j.name, err))
 		}
-		ns := [4]int64{best[0].Nanoseconds(), best[1].Nanoseconds(), best[2].Nanoseconds(), best[3].Nanoseconds()}
+		ns := [5]int64{best[0].Nanoseconds(), best[1].Nanoseconds(), best[2].Nanoseconds(),
+			best[3].Nanoseconds(), best[4].Nanoseconds()}
 		e := Entry{
 			Name: j.name, Rows: rows,
-			BaseNS: ns[0], VecOffNS: ns[1], OptOffNS: ns[2], SpillNS: ns[3],
+			BaseNS: ns[0], VecOffNS: ns[1], OptOffNS: ns[2], SpillNS: ns[3], ParNS: ns[4],
 			VecSpeedup: round2(float64(ns[1]) / float64(ns[0])),
 			OptSpeedup: round2(float64(ns[2]) / float64(ns[0])),
 			SpillCost:  round2(float64(ns[3]) / float64(ns[0])),
+			ParSpeedup: round2(float64(ns[0]) / float64(ns[4])),
 		}
 		rep.Queries = append(rep.Queries, e)
-		fmt.Printf("%-16s base=%-12v vec-off=%-12v (%.2fx)  opt-off=%-12v (%.2fx)  spill=%-12v (%.2fx)\n",
+		fmt.Printf("%-16s base=%-12v vec-off=%-12v (%.2fx)  opt-off=%-12v (%.2fx)  spill=%-12v (%.2fx)  par=%-12v (%.2fx)\n",
 			j.name, time.Duration(ns[0]), time.Duration(ns[1]), e.VecSpeedup,
-			time.Duration(ns[2]), e.OptSpeedup, time.Duration(ns[3]), e.SpillCost)
+			time.Duration(ns[2]), e.OptSpeedup, time.Duration(ns[3]), e.SpillCost,
+			time.Duration(ns[4]), e.ParSpeedup)
 	}
 
 	f, err := os.Create(*out)

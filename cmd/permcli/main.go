@@ -46,6 +46,7 @@ func main() {
 		noCache  = flag.Bool("no-query-cache", false, "disable the shared compiled-query cache")
 		memLimit = flag.String("memory-limit", "", "session memory budget, e.g. 64MiB (materializing operators spill to disk past it)")
 		spillDir = flag.String("spill-dir", "", "directory for spill files (default $PERM_SPILL_DIR or the system temp dir)")
+		paraN    = flag.Int("parallelism", 0, "intra-query worker count (0 = $PERM_PARALLELISM or all cores, 1 = serial)")
 		timing   = flag.Bool("timing", true, "print execution times")
 	)
 	flag.Parse()
@@ -84,6 +85,12 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *paraN != 0 {
+			if err := client.Set("parallelism", strconv.Itoa(*paraN)); err != nil {
+				fmt.Fprintf(os.Stderr, "SET parallelism: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *spillDir != "" {
 			fmt.Fprintln(os.Stderr, "-spill-dir applies to the embedded engine; start permd with -spill-dir instead")
 		}
@@ -108,6 +115,7 @@ func main() {
 			DisableQueryCache: *noCache,
 			MemoryLimit:       limit,
 			SpillDir:          *spillDir,
+			Parallelism:       *paraN,
 		})
 		if *loadSF > 0 {
 			fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)

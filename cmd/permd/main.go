@@ -41,6 +41,7 @@ func main() {
 		memLimit = flag.String("memory-limit", "", "per-session memory budget, e.g. 64MiB (sessions spill to disk past it; default $PERM_MEMORY_LIMIT or unlimited)")
 		totalMem = flag.String("total-memory", "", "engine-wide memory cap across all sessions, e.g. 1GiB (default unlimited)")
 		spillDir = flag.String("spill-dir", "", "directory for spill files (default $PERM_SPILL_DIR or the system temp dir)")
+		paraN    = flag.Int("parallelism", 0, "intra-query worker count (0 = $PERM_PARALLELISM or all cores, 1 = serial)")
 		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 		QueryCacheSize:    *cacheN,
 		MemoryLimit:       sessionLimit,
 		SpillDir:          *spillDir,
+		Parallelism:       *paraN,
 	})
 	if *totalMem != "" {
 		n, err := mem.ParseSize(*totalMem)

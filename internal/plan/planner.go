@@ -22,10 +22,11 @@ import (
 
 // Planner plans query trees against a catalog.
 type Planner struct {
-	cat        *catalog.Catalog
-	vectorized bool
-	budget     *mem.Budget
-	spillDir   string
+	cat         *catalog.Catalog
+	vectorized  bool
+	budget      *mem.Budget
+	spillDir    string
+	parallelism int
 }
 
 // New returns a planner with the vectorized lowering path enabled.
@@ -62,6 +63,9 @@ func (p *Planner) Plan(q *algebra.Query) (exec.Node, error) {
 	pl, err := p.planQuery(q)
 	if err != nil {
 		return nil, err
+	}
+	if p.parallelism > 1 && pl.vnode != nil {
+		p.parallelize(q, pl)
 	}
 	return pl.node, nil
 }
@@ -2068,6 +2072,11 @@ func explainNode(n exec.Node, depth int, out *[]byte) {
 
 // explainVNode renders a vectorized subtree (below a BatchToRow adapter).
 func explainVNode(n vexec.Node, depth int, out *[]byte) {
+	if t, ok := n.(*vexec.MorselTap); ok {
+		// Transparent plumbing: render the worker subtree it wraps.
+		explainVNode(t.Input, depth, out)
+		return
+	}
 	indent := make([]byte, depth*2)
 	for i := range indent {
 		indent[i] = ' '
@@ -2121,6 +2130,19 @@ func explainVNode(n vexec.Node, depth int, out *[]byte) {
 		*out = append(*out, fmt.Sprintf("VecSetOp (%s, all=%v%s)\n", setOpName(x.Kind), x.All, spillTag(x.Spill))...)
 		explainVNode(x.Left, depth+1, out)
 		explainVNode(x.Right, depth+1, out)
+	case *vexec.Exchange:
+		*out = append(*out, fmt.Sprintf("Exchange (workers=%d)\n", len(x.Workers))...)
+		explainVNode(x.Workers[0], depth+1, out)
+	case *vexec.ParallelAgg:
+		h := x.Workers[0]
+		*out = append(*out, fmt.Sprintf("VecHashAggregate (%d groups, %d aggs%s, workers=%d)\n",
+			len(h.Groups), len(h.Aggs), spillTag(h.Spill), len(x.Workers))...)
+		explainVNode(h.Input, depth+1, out)
+	case *vexec.ParallelSort:
+		w := x.Workers[0]
+		*out = append(*out, fmt.Sprintf("VecSort (%d keys%s, workers=%d)\n",
+			len(w.Keys), spillTag(w.Spill), len(x.Workers))...)
+		explainVNode(w.Input, depth+1, out)
 	default:
 		*out = append(*out, fmt.Sprintf("%T\n", n)...)
 	}

@@ -13,6 +13,7 @@
 //	DEALLOCATE [PREPARE] <name>      drop a prepared statement
 //	SET <option> = on|off            session options (see SetOption)
 //	SET memory_limit = <size>        per-session memory budget (spill past it)
+//	SET parallelism = <n>            intra-query worker count (0 = all cores)
 //
 // A session is safe for concurrent use, but is designed for one client:
 // the server gives every connection its own session.
@@ -21,6 +22,7 @@ package session
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -35,8 +37,10 @@ type Session struct {
 	prepared map[string]*perm.Prepared
 	portals  map[string]*perm.Cursor
 	// baseMemLimit is the server-configured memory limit the session
-	// started with; SET memory_limit = 0 restores it.
-	baseMemLimit int64
+	// started with; SET memory_limit = 0 restores it. baseParallelism is
+	// the same for the intra-query worker count.
+	baseMemLimit    int64
+	baseParallelism int
 }
 
 // New returns a session over the database (inheriting its options).
@@ -45,10 +49,11 @@ type Session struct {
 // sessions spill independently instead of draining one shared budget.
 func New(db *perm.Database) *Session {
 	return &Session{
-		db:           db.WithOptions(db.Opts()),
-		prepared:     make(map[string]*perm.Prepared),
-		portals:      make(map[string]*perm.Cursor),
-		baseMemLimit: db.Opts().MemoryLimit,
+		db:              db.WithOptions(db.Opts()),
+		prepared:        make(map[string]*perm.Prepared),
+		portals:         make(map[string]*perm.Cursor),
+		baseMemLimit:    db.Opts().MemoryLimit,
+		baseParallelism: db.Opts().Parallelism,
 	}
 }
 
@@ -209,8 +214,10 @@ func (s *Session) Close() {
 // size ("64MiB", "4000000") bounding this session's materializing
 // operators — exhausted budgets spill to disk; "off"/"unlimited" lifts
 // the session limit and "0" restores the limit the server configured
-// this session with. Prepared statements are re-prepared under the new
-// options so EXECUTE always honours the session's current settings.
+// this session with. parallelism takes the intra-query worker count (0
+// defers to the server's configuration, 1 or "off" forces serial
+// plans). Prepared statements are re-prepared under the new options so
+// EXECUTE always honours the session's current settings.
 func (s *Session) SetOption(name, value string) error {
 	// The whole read-modify-commit runs under the session lock (Prepare
 	// only touches shared engine state, never the session, so holding mu
@@ -220,6 +227,26 @@ func (s *Session) SetOption(name, value string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	opts := s.db.Opts()
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "parallelism":
+		v := strings.ToLower(strings.TrimSpace(value))
+		if v == "off" || v == "serial" {
+			opts.Parallelism = -1
+		} else {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return fmt.Errorf("parallelism must be a non-negative worker count or off, got %q", value)
+			}
+			if n == 0 {
+				// 0 restores the worker count the server configured this
+				// session with (which may itself defer to PERM_PARALLELISM
+				// or GOMAXPROCS).
+				n = s.baseParallelism
+			}
+			opts.Parallelism = n
+		}
+		return s.commitOptions(opts)
+	}
 	if strings.EqualFold(strings.TrimSpace(name), "memory_limit") {
 		n, err := mem.ParseSize(value)
 		if err != nil {
@@ -246,14 +273,18 @@ func (s *Session) SetOption(name, value string) error {
 		case "disable_query_cache":
 			opts.DisableQueryCache = on
 		default:
-			return fmt.Errorf("unknown option %q (have flatten_setops, disable_optimizer, disable_vectorized, disable_query_cache, memory_limit)", name)
+			return fmt.Errorf("unknown option %q (have flatten_setops, disable_optimizer, disable_vectorized, disable_query_cache, memory_limit, parallelism)", name)
 		}
 	}
-	db := s.db.WithOptions(opts)
+	return s.commitOptions(opts)
+}
 
-	// Re-prepare everything under the new options before committing the
-	// switch: a failure leaves both the options and the prepared
-	// statements exactly as they were.
+// commitOptions switches the session to a new option set. Everything
+// prepared is re-prepared under the new options before the switch
+// commits: a failure leaves both the options and the prepared statements
+// exactly as they were. Caller holds s.mu.
+func (s *Session) commitOptions(opts perm.Options) error {
+	db := s.db.WithOptions(opts)
 	reprepared := make(map[string]*perm.Prepared, len(s.prepared))
 	for n, p := range s.prepared {
 		np, err := db.Prepare(p.Text())

@@ -144,6 +144,43 @@ func TestSetOption(t *testing.T) {
 	}
 }
 
+func TestSetParallelism(t *testing.T) {
+	base := testDB(t)
+	s := New(base.WithOptions(func() perm.Options { o := base.Opts(); o.Parallelism = 3; return o }()))
+	if err := s.Prepare("q", `SELECT name FROM shop ORDER BY name`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetOption("parallelism", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DB().Opts().Parallelism; got != 2 {
+		t.Fatalf("Parallelism = %d, want 2", got)
+	}
+	// Prepared statements keep working under the new worker count.
+	if _, err := s.Execute("q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetOption("parallelism", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DB().Opts().Parallelism; got != -1 {
+		t.Fatalf("Parallelism after off = %d, want -1", got)
+	}
+	// 0 restores the server-configured base, not "defer to environment".
+	if err := s.SetOption("parallelism", "0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DB().Opts().Parallelism; got != 3 {
+		t.Fatalf("Parallelism after reset = %d, want base 3", got)
+	}
+	if err := s.SetOption("parallelism", "lots"); err == nil {
+		t.Fatal("non-integer parallelism must fail")
+	}
+	if err := s.SetOption("parallelism", "-2"); err == nil {
+		t.Fatal("negative parallelism must fail")
+	}
+}
+
 // TestSetOptionConcurrentPrepare is the -race regression gate for
 // SetOption's re-prepare pass: it must never iterate the live prepared
 // map while a concurrent Prepare/Deallocate mutates it.

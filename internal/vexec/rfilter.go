@@ -8,6 +8,8 @@
 package vexec
 
 import (
+	"sync/atomic"
+
 	"perm/internal/types"
 	"perm/internal/vector"
 )
@@ -29,7 +31,14 @@ type RuntimeFilter struct {
 	// NULL probe lane matches nothing and is pruned outright.
 	NullSafe bool
 
-	ready     bool
+	// Publication is atomic and exactly-once: the first builder to call
+	// PublishFrom claims the filter (claimed CAS), writes the summary
+	// fields, and only then stores ready — so once a probe-side reader
+	// observes Ready() the summary is complete, and concurrent builders
+	// (replicated pipelines racing on a shared filter) can never produce
+	// a torn or twice-written summary.
+	claimed   atomic.Bool
+	ready     atomic.Bool
 	hasNull   bool
 	buildKind types.Kind
 
@@ -51,8 +60,12 @@ func NewRuntimeFilter(nullSafe bool) *RuntimeFilter {
 // PublishFrom summarizes the n build-key lanes and marks the filter
 // ready. An empty build publishes an empty Bloom filter, which rejects
 // everything — correct, since an inner join with an empty build side
-// emits nothing.
+// emits nothing. Publication happens exactly once: after the first
+// builder claims the filter, later calls return without touching it.
 func (rf *RuntimeFilter) PublishFrom(keys *vector.Vec, n int) {
+	if !rf.claimed.CompareAndSwap(false, true) {
+		return
+	}
 	rf.buildKind = keys.Kind
 	bits := 64
 	for bits < 8*n && bits < bloomMaxBits {
@@ -108,8 +121,13 @@ func (rf *RuntimeFilter) PublishFrom(keys *vector.Vec, n int) {
 			first, rf.hasRange = false, true
 		}
 	}
-	rf.ready = true
+	rf.ready.Store(true)
 }
+
+// Ready reports whether the summary has been published. The atomic load
+// pairs with PublishFrom's final store: a reader that observes true also
+// observes every summary field written before it.
+func (rf *RuntimeFilter) Ready() bool { return rf.ready.Load() }
 
 func (rf *RuntimeFilter) setBit(b uint64) { rf.bloom[b>>6] |= 1 << (b & 63) }
 func (rf *RuntimeFilter) testBit(b uint64) bool {

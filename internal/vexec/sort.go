@@ -109,11 +109,19 @@ type VecSort struct {
 	Keys  []exec.SortKey
 	Spill spill.Resources
 
+	// Parallel worker mode (set by NewParallelSort): every accumulated
+	// row gets a hidden trailing column holding its global input ordinal
+	// (from the morsel tap), which also becomes the final ascending sort
+	// key. The worker then emits width+1 columns; the coordinator merges
+	// worker streams on (keys, ordinal) and strips the ordinal.
+	Tap *MorselTap
+
 	acc      colAccumulator
 	emit     emitter
 	accBytes int64
 	kinds    []types.Kind
 	classes  []cmpClass
+	sortKeys []exec.SortKey
 	runs     []*spill.Run
 	merger   *runMerger
 }
@@ -132,7 +140,7 @@ func (s *VecSort) flushRun() error {
 	if s.acc.n == 0 {
 		return nil
 	}
-	order := sortedOrder(s.acc.cols, s.acc.n, s.Keys, s.classes)
+	order := sortedOrder(s.acc.cols, s.acc.n, s.sortKeys, s.classes)
 	run, err := writeOrdered(s.Spill, s.acc.cols, order)
 	if err != nil {
 		return err
@@ -148,6 +156,8 @@ func (s *VecSort) Open() (err error) {
 	s.acc = colAccumulator{}
 	s.accBytes = 0
 	s.merger = nil
+	s.sortKeys = s.Keys
+	s.classes = nil
 	closeRuns(s.runs)
 	s.runs = nil
 	// A failed Open never sees a matching Close from the parent, so the
@@ -178,10 +188,20 @@ func (s *VecSort) Open() (err error) {
 		if s.classes == nil {
 			s.kinds = colKinds(b.Cols)
 			s.classes = sortKeyClasses(s.Keys, b.Cols)
+			if s.Tap != nil {
+				// Hidden ordinal column: last data column, last (ascending)
+				// sort key.
+				s.kinds = append(s.kinds, types.KindInt)
+				s.classes = append(s.classes, classify(types.KindInt, types.KindInt))
+				s.sortKeys = append(append([]exec.SortKey{}, s.Keys...), exec.SortKey{Pos: len(b.Cols)})
+			}
 		}
 		lanes := resolveSel(b, b.Sel)
 		if budgeted {
 			delta := batchBytes(b.Cols, lanes)
+			if s.Tap != nil {
+				delta += 8 * int64(len(lanes))
+			}
 			if !s.Spill.Res.Grow(delta) {
 				if err := s.flushRun(); err != nil {
 					s.Input.Close() //nolint:errcheck
@@ -192,12 +212,22 @@ func (s *VecSort) Open() (err error) {
 			s.accBytes += delta
 		}
 		s.acc.appendLanes(b, lanes)
+		if s.Tap != nil {
+			if len(s.acc.cols) == len(b.Cols) {
+				s.acc.cols = append(s.acc.cols, vector.NewVec(types.KindInt, 0))
+			}
+			seqCol := s.acc.cols[len(s.acc.cols)-1]
+			base := s.Tap.Base()
+			for k := range lanes {
+				appendI(seqCol, base+int64(k))
+			}
+		}
 	}
 	if err := s.Input.Close(); err != nil {
 		return err
 	}
 	if len(s.runs) == 0 {
-		order := sortedOrder(s.acc.cols, s.acc.n, s.Keys, s.classes)
+		order := sortedOrder(s.acc.cols, s.acc.n, s.sortKeys, s.classes)
 		s.emit.reset(s.acc.cols, order)
 		return nil
 	}
@@ -206,11 +236,11 @@ func (s *VecSort) Open() (err error) {
 	if err := s.flushRun(); err != nil {
 		return err
 	}
-	s.runs, err = reduceRuns(s.Spill, s.runs, s.Keys, s.classes, s.kinds)
+	s.runs, err = reduceRuns(s.Spill, s.runs, s.sortKeys, s.classes, s.kinds)
 	if err != nil {
 		return err
 	}
-	s.merger, err = newRunMerger(s.runs, s.Keys, s.classes, s.kinds)
+	s.merger, err = newRunMerger(s.runs, s.sortKeys, s.classes, s.kinds)
 	return err
 }
 

@@ -277,6 +277,11 @@ type seqMerger struct {
 	kinds   []types.Kind
 	heap    []int
 	rem     int64 // remaining repeats of the current head record
+	// bandShift > 0 keeps every emitted batch within one seq>>bandShift
+	// band and records the band in lastBand, so a morsel-spine operator
+	// draining this merger remains a valid TagSource (see parallel.go).
+	bandShift int
+	lastBand  int64
 }
 
 func newSeqMerger(runs []*spill.Run, width, multCol, seqCol int) (*seqMerger, error) {
@@ -338,6 +343,14 @@ func (m *seqMerger) next() (*vector.Batch, error) {
 	}
 	rows := 0
 	for rows < vector.BatchSize && len(m.heap) > 0 {
+		if m.bandShift > 0 {
+			band := m.seqAt(m.heap[0]) >> m.bandShift
+			if rows == 0 {
+				m.lastBand = band
+			} else if band != m.lastBand {
+				break // next record starts a new morsel band
+			}
+		}
 		cur := m.cursors[m.heap[0]]
 		for m.rem > 0 && rows < vector.BatchSize {
 			for c := 0; c < m.width; c++ {
@@ -417,9 +430,12 @@ func flushGroupRecords(ps *partitionSet, acc *colAccumulator, seqs []int64, st g
 	return nil
 }
 
-// groupWorkItem is one partition run awaiting processing.
+// groupWorkItem is one partition awaiting processing. Serial operators
+// have one run per partition; a parallel aggregation contributes one run
+// per worker to the same partition (identical key hash slice), and all
+// of them must merge through one table.
 type groupWorkItem struct {
-	run   *spill.Run
+	runs  []*spill.Run
 	depth int
 	seed  uint64
 }
@@ -441,15 +457,27 @@ func seqOrder(seqs []int64, n int) []int32 {
 // budget), and finalize writes its groups in first-appearance order as
 // one output run. The returned runs feed a seqMerger.
 func processGroupPartitions(res spill.Resources, runs []*spill.Run, dataKinds []types.Kind,
+	st groupStater, finalize groupFinalizer) ([]*spill.Run, error) {
+	sets := make([][]*spill.Run, len(runs))
+	for i, r := range runs {
+		sets[i] = []*spill.Run{r}
+	}
+	return processGroupPartitionSets(res, sets, dataKinds, st, finalize)
+}
+
+// processGroupPartitionSets is processGroupPartitions for partitions
+// made of several runs (one per parallel worker): all runs of a set
+// merge through one table.
+func processGroupPartitionSets(res spill.Resources, sets [][]*spill.Run, dataKinds []types.Kind,
 	st groupStater, finalize groupFinalizer) (outputs []*spill.Run, err error) {
-	stack := make([]groupWorkItem, 0, len(runs))
-	for _, r := range runs {
-		stack = append(stack, groupWorkItem{run: r, depth: 1, seed: 1})
+	stack := make([]groupWorkItem, 0, len(sets))
+	for _, rs := range sets {
+		stack = append(stack, groupWorkItem{runs: rs, depth: 1, seed: 1})
 	}
 	defer func() {
 		if err != nil {
 			for _, it := range stack {
-				it.run.Close() //nolint:errcheck
+				closeRuns(it.runs)
 			}
 			closeRuns(outputs)
 		}
@@ -463,7 +491,7 @@ func processGroupPartitions(res spill.Resources, runs []*spill.Run, dataKinds []
 			return outputs, err
 		}
 		for _, r := range children {
-			stack = append(stack, groupWorkItem{run: r, depth: item.depth + 1, seed: item.seed + 1})
+			stack = append(stack, groupWorkItem{runs: []*spill.Run{r}, depth: item.depth + 1, seed: item.seed + 1})
 		}
 		if out != nil {
 			outputs = append(outputs, out)
@@ -478,7 +506,7 @@ func processGroupPartitions(res spill.Resources, runs []*spill.Run, dataKinds []
 // closed.
 func processOneGroupPartition(res spill.Resources, item groupWorkItem, dataKinds []types.Kind,
 	st groupStater, finalize groupFinalizer) (children []*spill.Run, out *spill.Run, err error) {
-	defer item.run.Close() //nolint:errcheck — temp storage, already unlinked
+	defer closeRuns(item.runs) // temp storage, already unlinked
 	dataWidth := len(dataKinds)
 	acc := &colAccumulator{}
 	var seqs []int64
@@ -486,62 +514,70 @@ func processOneGroupPartition(res spill.Resources, item groupWorkItem, dataKinds
 	st.reset()
 	var itemBytes int64
 	defer func() { res.Res.Release(itemBytes) }()
-	for {
-		cols, n, rerr := item.run.ReadCols()
-		if rerr != nil {
-			return nil, nil, rerr
-		}
-		if n == 0 {
-			break
-		}
-		delta := batchBytes(cols, identitySel[:n])
-		granted := res.Res.Grow(delta)
-		if !granted && item.depth < maxRepartitionDepth {
-			// Skewed partition: push everything seen so far (the live
-			// partial groups) plus the rest of the run one level down
-			// under a reseeded hash.
-			ps := newPartitionSet(res, recordKinds(dataKinds, st), item.seed+1)
-			if err := flushGroupRecords(ps, acc, seqs, st); err != nil {
-				ps.abandon()
-				return nil, nil, err
+	for ri, run := range item.runs {
+		for {
+			cols, n, rerr := run.ReadCols()
+			if rerr != nil {
+				return nil, nil, rerr
 			}
-			if err := repartitionRecords(ps, item.run, cols, n, dataWidth); err != nil {
-				ps.abandon()
-				return nil, nil, err
+			if n == 0 {
+				break
 			}
-			children, err := ps.finish()
-			if err != nil {
-				ps.abandon()
-				return nil, nil, err
-			}
-			return children, nil, nil
-		}
-		if !granted {
-			res.Res.Force(delta) // depth exhausted: complete over budget
-		}
-		itemBytes += delta
-		dataCols := cols[:dataWidth]
-		stateCols := cols[dataWidth : len(cols)-1]
-		seqCol := cols[len(cols)-1]
-		for i := 0; i < n; i++ {
-			h := hashLanes(dataCols, i)
-			g := int32(-1)
-			for _, gi := range table[h] {
-				if rowsEqual(dataCols, i, acc.cols, int(gi)) {
-					g = gi
-					break
+			delta := batchBytes(cols, identitySel[:n])
+			granted := res.Res.Grow(delta)
+			if !granted && item.depth < maxRepartitionDepth {
+				// Skewed partition: push everything seen so far (the live
+				// partial groups) plus the rest of this run and every
+				// still-unread run one level down under a reseeded hash.
+				ps := newPartitionSet(res, recordKinds(dataKinds, st), item.seed+1)
+				if err := flushGroupRecords(ps, acc, seqs, st); err != nil {
+					ps.abandon()
+					return nil, nil, err
 				}
+				if err := repartitionRecords(ps, run, cols, n, dataWidth); err != nil {
+					ps.abandon()
+					return nil, nil, err
+				}
+				for _, rest := range item.runs[ri+1:] {
+					if err := repartitionRecords(ps, rest, nil, 0, dataWidth); err != nil {
+						ps.abandon()
+						return nil, nil, err
+					}
+				}
+				children, err := ps.finish()
+				if err != nil {
+					ps.abandon()
+					return nil, nil, err
+				}
+				return children, nil, nil
 			}
-			if g < 0 {
-				g = int32(acc.n)
-				table[h] = append(table[h], g)
-				acc.appendLane(&vector.Batch{N: n, Cols: dataCols}, i)
-				st.newGroup()
-				seqs = append(seqs, seqCol.I[i])
-			} else if s := seqCol.I[i]; s < seqs[g] {
-				seqs[g] = s
+			if !granted {
+				res.Res.Force(delta) // depth exhausted: complete over budget
 			}
-			st.mergeState(int(g), stateCols, i)
+			itemBytes += delta
+			dataCols := cols[:dataWidth]
+			stateCols := cols[dataWidth : len(cols)-1]
+			seqCol := cols[len(cols)-1]
+			for i := 0; i < n; i++ {
+				h := hashLanes(dataCols, i)
+				g := int32(-1)
+				for _, gi := range table[h] {
+					if rowsEqual(dataCols, i, acc.cols, int(gi)) {
+						g = gi
+						break
+					}
+				}
+				if g < 0 {
+					g = int32(acc.n)
+					table[h] = append(table[h], g)
+					acc.appendLane(&vector.Batch{N: n, Cols: dataCols}, i)
+					st.newGroup()
+					seqs = append(seqs, seqCol.I[i])
+				} else if s := seqCol.I[i]; s < seqs[g] {
+					seqs[g] = s
+				}
+				st.mergeState(int(g), stateCols, i)
+			}
 		}
 	}
 	out, err = finalize(res, acc, seqs, seqOrder(seqs, acc.n))

@@ -65,6 +65,14 @@ type ColScan struct {
 	NumRows int
 	pos     int
 
+	// Morsel dispatch (parallel plans): instead of iterating [0, NumRows)
+	// the scan claims morsels from the shared dispatcher and windows only
+	// its own ranges. morselSeq identifies the current morsel for the
+	// sequence tags that restore serial output order.
+	disp      *Morsels
+	morselSeq int64
+	morselEnd int
+
 	rfs     []rfBinding
 	winCols []*vector.Vec
 	winVecs []vector.Vec
@@ -87,8 +95,20 @@ func (s *ColScan) AddRuntimeFilter(rf *RuntimeFilter, col int) {
 // scan (EXPLAIN).
 func (s *ColScan) HasRuntimeFilters() bool { return len(s.rfs) > 0 }
 
+// SetMorselSource switches the scan to morsel-driven iteration against a
+// shared dispatcher (parallel plans only).
+func (s *ColScan) SetMorselSource(d *Morsels) { s.disp = d }
+
+// CurrentMorsel returns the sequence number of the morsel the scan's
+// last batch came from.
+func (s *ColScan) CurrentMorsel() int64 { return s.morselSeq }
+
+// CurrentBand implements TagSource: the scan's bands are its morsels.
+func (s *ColScan) CurrentBand() int64 { return s.morselSeq }
+
 func (s *ColScan) Open() error {
 	s.pos = 0
+	s.morselSeq, s.morselEnd = 0, 0
 	for i := range s.rfs {
 		s.rfs[i].tested, s.rfs[i].admitted, s.rfs[i].dead = 0, 0, false
 	}
@@ -103,10 +123,23 @@ func (s *ColScan) Open() error {
 }
 
 func (s *ColScan) Next() (*vector.Batch, error) {
-	for s.pos < s.NumRows {
+	for {
+		limit := s.NumRows
+		if s.disp != nil {
+			if s.pos >= s.morselEnd {
+				seq, lo, hi, ok := s.disp.grab(s.NumRows)
+				if !ok {
+					return nil, nil
+				}
+				s.morselSeq, s.pos, s.morselEnd = seq, lo, hi
+			}
+			limit = s.morselEnd
+		} else if s.pos >= s.NumRows {
+			return nil, nil
+		}
 		hi := s.pos + vector.BatchSize
-		if hi > s.NumRows {
-			hi = s.NumRows
+		if hi > limit {
+			hi = limit
 		}
 		for j, c := range s.Cols {
 			c.WindowInto(s.pos, hi, s.winCols[j])
@@ -124,7 +157,7 @@ func (s *ColScan) Next() (*vector.Batch, error) {
 		for i := 0; i < b.N; i++ {
 			for bi := range s.rfs {
 				bind := &s.rfs[bi]
-				if bind.dead || !bind.rf.ready {
+				if bind.dead || !bind.rf.Ready() {
 					continue
 				}
 				bind.tested++
@@ -151,12 +184,11 @@ func (s *ColScan) Next() (*vector.Batch, error) {
 		}
 		return b, nil
 	}
-	return nil, nil
 }
 
 func (s *ColScan) anyReadyFilter() bool {
 	for i := range s.rfs {
-		if !s.rfs[i].dead && s.rfs[i].rf.ready {
+		if !s.rfs[i].dead && s.rfs[i].rf.Ready() {
 			return true
 		}
 	}
@@ -315,6 +347,14 @@ type HashJoin struct {
 	RightKinds  []types.Kind
 	Publish     []*RuntimeFilter
 	Spill       spill.Resources
+
+	// TagSrc, when non-nil, marks the join as sitting on a morsel-driven
+	// worker spine: the nearest tag source below its probe side. Grace
+	// mode then stores band-derived sequence tags for probe rows and the
+	// output merge never lets a batch span bands, so the join remains a
+	// valid TagSource for the tap above even though it buffered the whole
+	// probe side.
+	TagSrc TagSource
 
 	buildCols  []*vector.Vec
 	buildKeys  []*vector.Vec
@@ -552,6 +592,20 @@ func (j *HashJoin) keysMatch(probe []*vector.Vec, pi int, bi int) bool {
 // Spilled reports whether the join went Grace (spilled partitions).
 func (j *HashJoin) Spilled() bool { return j.grace != nil }
 
+// CurrentBand implements TagSource. In-memory mode the join streams (all
+// outputs of one probe batch emit before the next is pulled), so the
+// source below is still current; Grace mode re-derives the band from the
+// sequence tags of the merged output stream.
+func (j *HashJoin) CurrentBand() int64 {
+	if j.grace != nil && j.grace.merger != nil {
+		return j.grace.merger.lastBand
+	}
+	if j.TagSrc != nil {
+		return j.TagSrc.CurrentBand()
+	}
+	return 0
+}
+
 func (j *HashJoin) Next() (*vector.Batch, error) {
 	if j.grace != nil {
 		return j.grace.merger.next()
@@ -686,6 +740,14 @@ type HashAgg struct {
 	Groups []*Expr
 	Aggs   []AggSpec
 	Spill  spill.Resources
+
+	// Parallel partial mode (set by NewParallelAgg): sequence numbers come
+	// from the morsel tap (global input ordinals) instead of a local
+	// counter, and Open stops after flushing all groups as partial records
+	// into partition runs — the coordinator merges them across workers.
+	Tap      *MorselTap
+	partial  bool
+	partRuns [spillPartitions]*spill.Run
 
 	groupCols []*vector.Vec
 	numGroups int
@@ -994,6 +1056,8 @@ func (h *HashAgg) Open() (err error) {
 			h.ps.abandon()
 			closeRuns(h.outRuns)
 			h.outRuns = nil
+			closeRuns(h.partRuns[:])
+			h.partRuns = [spillPartitions]*spill.Run{}
 			h.Spill.Res.ReleaseAll()
 		}
 	}()
@@ -1010,6 +1074,8 @@ func (h *HashAgg) Open() (err error) {
 	h.ps, h.merger = nil, nil
 	closeRuns(h.outRuns)
 	h.outRuns = nil
+	closeRuns(h.partRuns[:])
+	h.partRuns = [spillPartitions]*spill.Run{}
 	h.accs = make([]aggAcc, len(h.Aggs))
 	for ai := range h.Aggs {
 		h.accs[ai].spec = h.Aggs[ai]
@@ -1045,10 +1111,18 @@ func (h *HashAgg) Open() (err error) {
 				args[ai] = av
 			}
 		}
+		// Sequence numbers: the local counter in serial mode, the morsel
+		// tap's global input ordinals in parallel partial mode (so group
+		// order merges correctly across workers).
+		base := h.seqCtr
+		if h.Tap != nil {
+			base = h.Tap.Base()
+		}
+		var off int64
 		for _, i := range resolveSel(b, b.Sel) {
 			hv := hashLanes(keys, i)
-			seq := h.seqCtr
-			h.seqCtr++
+			seq := base + off
+			off++
 			g := -1
 			for _, gi := range h.table[hv] {
 				if h.groupMatches(keys, i, int(gi)) {
@@ -1079,6 +1153,9 @@ func (h *HashAgg) Open() (err error) {
 				h.accs[ai].accumulate(g, args[ai], i)
 			}
 		}
+		if h.Tap == nil {
+			h.seqCtr = base + off
+		}
 		for g, kv := range keys {
 			h.Groups[g].FreeResult(kv)
 		}
@@ -1087,6 +1164,9 @@ func (h *HashAgg) Open() (err error) {
 				h.Aggs[ai].Arg.FreeResult(av)
 			}
 		}
+	}
+	if h.partial {
+		return h.finishPartial()
 	}
 	if h.ps != nil {
 		// Spilled: flush the tail epoch, merge partitions, stream the
@@ -1127,14 +1207,20 @@ func (h *HashAgg) Open() (err error) {
 		h.merger, err = newSeqMerger(h.outRuns, width, -1, width)
 		return err
 	}
-	// Global aggregate over empty input: one row of defaults.
+	h.finishInMem()
+	return nil
+}
+
+// finishInMem finalizes the in-memory result columns (and the default
+// row of a global aggregate over empty input); output windows slice
+// them.
+func (h *HashAgg) finishInMem() {
 	if h.numGroups == 0 && len(h.Groups) == 0 {
 		h.numGroups = 1
 		for ai := range h.accs {
 			h.accs[ai].addGroup()
 		}
 	}
-	// Finalize aggregate result columns up front; output windows slice them.
 	h.resVecs = make([]*vector.Vec, len(h.Aggs))
 	for ai := range h.accs {
 		out := vector.NewVec(h.Aggs[ai].ResultKind, h.numGroups)
@@ -1144,7 +1230,133 @@ func (h *HashAgg) Open() (err error) {
 		h.resVecs[ai] = out
 	}
 	h.outPos = 0
+}
+
+// finishPartial ends a parallel worker's drain. A worker that stayed in
+// memory keeps its live group table for the coordinator's in-memory
+// absorb; one that spilled under budget pressure flushes everything into
+// partition runs for the disk merge.
+func (h *HashAgg) finishPartial() error {
+	if h.ps == nil {
+		return nil
+	}
+	return h.flushPartialRuns()
+}
+
+// flushPartialRuns force-flushes a worker's groups (live table and any
+// earlier flush epochs) into finished partition runs. The coordinator
+// calls it on in-memory workers when a sibling spilled, so the
+// cross-worker merge sees a uniform representation.
+func (h *HashAgg) flushPartialRuns() error {
+	if h.numGroups == 0 && h.ps == nil {
+		return nil
+	}
+	if h.pending > 0 {
+		h.Spill.Res.Force(h.pending)
+		h.accBytes += h.pending
+		h.pending = 0
+	}
+	if err := h.spillGroups(); err != nil {
+		return err
+	}
+	runs, err := h.ps.finishAll()
+	if err != nil {
+		return err
+	}
+	h.partRuns = runs
+	h.ps = nil
 	return nil
+}
+
+// hasPartRuns reports whether the worker flushed partial records to
+// disk.
+func (h *HashAgg) hasPartRuns() bool {
+	for _, r := range h.partRuns {
+		if r != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// absorb folds another worker's live group table into h (coordinator
+// side, single-threaded after the drain barrier). States combine with
+// the same associative merge the spill path uses, and a group's sequence
+// number becomes its minimum first-appearance ordinal across workers.
+// The merged copy's growth is recorded against h's reservation (Force:
+// the inputs already fit worker budgets, the union may not).
+func (h *HashAgg) absorb(w *HashAgg) {
+	if w.numGroups == 0 {
+		return
+	}
+	kinds := w.stateKinds()
+	state := make([]*vector.Vec, len(kinds))
+	for i, k := range kinds {
+		state[i] = vector.NewVec(k, 0)
+	}
+	for g := 0; g < w.numGroups; g++ {
+		w.appendState(g, state)
+	}
+	stateBytes := int64(len(h.Aggs))*96 + groupOverheadBytes
+	var grown int64
+	for g := 0; g < w.numGroups; g++ {
+		hv := hashLanes(w.groupCols, g)
+		target := -1
+		for _, gi := range h.table[hv] {
+			if rowsEqual(w.groupCols, g, h.groupCols, int(gi)) {
+				target = int(gi)
+				break
+			}
+		}
+		if target < 0 {
+			target = h.numGroups
+			h.numGroups++
+			h.table[hv] = append(h.table[hv], int32(target))
+			for c := range h.groupCols {
+				h.groupCols[c].AppendFrom(w.groupCols[c], g)
+			}
+			h.newGroup()
+			h.seqs = append(h.seqs, w.seqs[g])
+			grown += laneBytes(w.groupCols, g) + stateBytes
+		} else if w.seqs[g] < h.seqs[target] {
+			h.seqs[target] = w.seqs[g]
+		}
+		h.mergeState(target, state, g)
+	}
+	if grown > 0 && h.Spill.Enabled() {
+		h.Spill.Res.Force(grown)
+		h.accBytes += grown
+	}
+}
+
+// finishInMemOrdered finalizes like finishInMem but emits groups in
+// ascending first-appearance order: after a cross-worker absorb the
+// table's insertion order is worker-0-first, not the serial input
+// order the sequence numbers record.
+func (h *HashAgg) finishInMemOrdered() {
+	if h.numGroups == 0 {
+		h.finishInMem() // empty grouped agg, or a global agg's default row
+		return
+	}
+	order := seqOrder(h.seqs, h.numGroups)
+	cols := make([]*vector.Vec, len(h.groupCols))
+	for c := range h.groupCols {
+		nc := vector.NewVec(h.groupKinds[c], 0)
+		for _, g := range order {
+			nc.AppendFrom(h.groupCols[c], int(g))
+		}
+		cols[c] = nc
+	}
+	h.groupCols = cols
+	h.resVecs = make([]*vector.Vec, len(h.Aggs))
+	for ai := range h.accs {
+		out := vector.NewVec(h.Aggs[ai].ResultKind, h.numGroups)
+		for i, g := range order {
+			out.Set(i, h.accs[ai].finalize(int(g)))
+		}
+		h.resVecs[ai] = out
+	}
+	h.outPos = 0
 }
 
 func (h *HashAgg) groupMatches(keys []*vector.Vec, i int, g int) bool {
@@ -1185,6 +1397,8 @@ func (h *HashAgg) Close() error {
 	h.ps.abandon()
 	closeRuns(h.outRuns)
 	h.outRuns = nil
+	closeRuns(h.partRuns[:])
+	h.partRuns = [spillPartitions]*spill.Run{}
 	h.Spill.Res.ReleaseAll()
 	return nil
 }

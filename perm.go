@@ -25,6 +25,8 @@ package perm
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -115,6 +117,17 @@ type Options struct {
 	// unlinked at creation, so their storage is reclaimed even on a
 	// crash.
 	SpillDir string
+
+	// Parallelism is the number of workers intra-query parallelism may
+	// use for eligible vectorized plan segments. Parallel execution is
+	// semantics-preserving: worker outputs merge back in exact serial
+	// order, so results are byte-identical to a serial run. 0 consults
+	// the PERM_PARALLELISM environment variable and falls back to
+	// runtime.GOMAXPROCS(0); 1 (or a negative value) plans serially.
+	// Each worker draws memory through its own reservation under this
+	// handle's session budget, so Parallelism composes with MemoryLimit
+	// (workers spill independently under pressure).
+	Parallelism int
 }
 
 // envLimitWarn makes sure a malformed PERM_MEMORY_LIMIT is reported
@@ -589,7 +602,36 @@ func (db *Database) ExplainSQL(text string) (string, error) {
 func (db *Database) planner() *plan.Planner {
 	return plan.New(db.cat).
 		SetVectorized(!db.opts.DisableVectorized).
-		SetResources(db.budget, spill.ResolveDir(db.opts.SpillDir))
+		SetResources(db.budget, spill.ResolveDir(db.opts.SpillDir)).
+		SetParallelism(effectiveParallelism(db.opts))
+}
+
+// envParWarn makes sure a malformed PERM_PARALLELISM is reported exactly
+// once.
+var envParWarn sync.Once
+
+// effectiveParallelism resolves the worker count for intra-query
+// parallelism: an explicit positive setting wins, negative means
+// serial, and 0 defers to the PERM_PARALLELISM environment variable and
+// then to GOMAXPROCS.
+func effectiveParallelism(opts Options) int {
+	switch {
+	case opts.Parallelism > 0:
+		return opts.Parallelism
+	case opts.Parallelism < 0:
+		return 1
+	}
+	if s := os.Getenv("PERM_PARALLELISM"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			envParWarn.Do(func() {
+				fmt.Fprintf(os.Stderr, "perm: ignoring invalid PERM_PARALLELISM: %q\n", s)
+			})
+			return runtime.GOMAXPROCS(0)
+		}
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Catalog introspection.

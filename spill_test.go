@@ -136,10 +136,12 @@ func TestSpillRowEngineSort(t *testing.T) {
 // EXPLAIN, and executing past it is visible in QueryStats.
 func TestSpillExplainAndStats(t *testing.T) {
 	budgeted, _ := spillPair(t, 64<<10, bigTable)
+	// Parallel plans append ", workers=N" inside the annotation, so match
+	// up to the spill tag only.
 	for _, c := range []struct{ query, wantOp string }{
-		{`SELECT a FROM big ORDER BY a`, "VecSort (1 keys, spill=on)"},
+		{`SELECT a FROM big ORDER BY a`, "VecSort (1 keys, spill=on"},
 		{`SELECT DISTINCT b FROM big`, "VecDistinct (spill=on)"},
-		{`SELECT b, count(*) FROM big GROUP BY b`, "VecHashAggregate (1 groups, 1 aggs, spill=on)"},
+		{`SELECT b, count(*) FROM big GROUP BY b`, "VecHashAggregate (1 groups, 1 aggs, spill=on"},
 		{`SELECT a FROM big INTERSECT SELECT b FROM big`, "VecSetOp (intersect, all=false, spill=on)"},
 		{`SELECT count(*) FROM big AS x, big AS y WHERE x.a = y.a`, "spill=on)"},
 	} {
