@@ -7,9 +7,14 @@
 // (BENCH_PR<N>.json), so future changes can diff against an explicit
 // baseline instead of prose in CHANGES.md.
 //
+// Alongside the timings, the report embeds a post-run snapshot of the
+// engine metrics (memory grants/denials, morsel dispatch, per-config
+// cache traffic and spill volume), so a perf diff can also see how the
+// work was done, not just how long it took.
+//
 // Usage:
 //
-//	go run ./cmd/benchjson -sf 0.002 -runs 10 -parallelism 4 -out BENCH_PR6.json
+//	go run ./cmd/benchjson -sf 0.002 -runs 10 -parallelism 4 -out BENCH_PR7.json
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"perm"
 	"perm/internal/mem"
+	"perm/internal/obs"
 	"perm/internal/synth"
 	"perm/internal/tpch"
 )
@@ -43,14 +49,62 @@ type Entry struct {
 
 // Report is the file layout.
 type Report struct {
-	ScaleFactor float64 `json:"scale_factor"`
-	Runs        int     `json:"runs"`
-	Seed        uint64  `json:"seed"`
-	SpillBudget string  `json:"spill_budget"` // the spill config's session budget
-	Parallelism int     `json:"parallelism"`  // the parallel config's worker count
-	NumCPU      int     `json:"num_cpu"`      // cores available to the measurement
-	GoVersion   string  `json:"go_version"`
-	Queries     []Entry `json:"queries"`
+	ScaleFactor float64         `json:"scale_factor"`
+	Runs        int             `json:"runs"`
+	Seed        uint64          `json:"seed"`
+	SpillBudget string          `json:"spill_budget"` // the spill config's session budget
+	Parallelism int             `json:"parallelism"`  // the parallel config's worker count
+	NumCPU      int             `json:"num_cpu"`      // cores available to the measurement
+	GoVersion   string          `json:"go_version"`
+	Queries     []Entry         `json:"queries"`
+	Metrics     MetricsSnapshot `json:"metrics"` // post-run engine counters
+}
+
+// MetricsSnapshot is the post-run engine observability state: the
+// process-global event counters and the per-config cache/memory stats.
+type MetricsSnapshot struct {
+	MemGrants         int64                    `json:"mem_grants_total"`
+	MemDenials        int64                    `json:"mem_denials_total"`
+	MorselsDispatched int64                    `json:"parallel_morsels_total"`
+	ParallelPlans     int64                    `json:"parallel_plans_total"`
+	ParallelWorkers   int64                    `json:"parallel_workers_total"`
+	SerialFallbacks   int64                    `json:"parallel_serial_fallbacks_total"`
+	Configs           map[string]ConfigMetrics `json:"configs"`
+}
+
+// ConfigMetrics is one benchmark configuration's cache and memory
+// counters after the full workload ran.
+type ConfigMetrics struct {
+	CacheHits    uint64 `json:"qcache_hits"`
+	CacheMisses  uint64 `json:"qcache_misses"`
+	PeakMemory   int64  `json:"mem_peak_bytes"`
+	SpilledBytes int64  `json:"mem_spilled_bytes"`
+	SpillEvents  uint64 `json:"mem_spill_events"`
+}
+
+// snapshotMetrics collects the post-run counters across all configs.
+func snapshotMetrics(configs []config) MetricsSnapshot {
+	snap := MetricsSnapshot{
+		MemGrants:         obs.MemGrants.Load(),
+		MemDenials:        obs.MemDenials.Load(),
+		MorselsDispatched: obs.MorselsDispatched.Load(),
+		ParallelPlans:     obs.ParallelPlans.Load(),
+		ParallelWorkers:   obs.ParallelWorkers.Load(),
+		SerialFallbacks:   obs.SerialFallbacks.Load(),
+		Configs:           make(map[string]ConfigMetrics, len(configs)),
+	}
+	for _, c := range configs {
+		cs := c.db.QueryCacheStats()
+		qs := c.db.QueryStats()
+		snap.Configs[c.name] = ConfigMetrics{
+			CacheHits:    cs.Hits,
+			CacheMisses:  cs.Misses,
+			PeakMemory:   qs.PeakMemory,
+			SpilledBytes: qs.BytesSpilled,
+			SpillEvents:  qs.SpillEvents,
+		}
+	}
+	return snap
 }
 
 type config struct {
@@ -105,7 +159,7 @@ func main() {
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
 	runs := flag.Int("runs", 10, "runs per query per config (best is kept)")
 	seed := flag.Uint64("seed", 42, "data generator seed")
-	out := flag.String("out", "BENCH_PR6.json", "output file")
+	out := flag.String("out", "BENCH_PR7.json", "output file")
 	budget := flag.String("spill-budget", "4MiB", "session memory budget of the spill config")
 	paraN := flag.Int("parallelism", 4, "worker count of the parallel config")
 	flag.Parse()
@@ -179,6 +233,8 @@ func main() {
 			time.Duration(ns[2]), e.OptSpeedup, time.Duration(ns[3]), e.SpillCost,
 			time.Duration(ns[4]), e.ParSpeedup)
 	}
+
+	rep.Metrics = snapshotMetrics(configs)
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -4,6 +4,7 @@
 //	SELECT PROVENANCE ...;
 //	EXPLAIN REWRITE SELECT PROVENANCE ...;   -- show the rewritten query q+
 //	EXPLAIN SELECT ...;                      -- show the physical plan
+//	EXPLAIN ANALYZE SELECT ...;              -- execute and show per-operator runtime stats
 //
 // plus the query-service dialect (PREPARE name AS ..., EXECUTE name,
 // DEALLOCATE name, SET option = on|off).

@@ -1,19 +1,24 @@
 // Command permd serves a Perm database over TCP, speaking the
 // length-prefixed wire protocol of perm/internal/wire (length-prefixed
-// JSON frames; ops QUERY / EXEC / PREPARE / EXECUTE / EXPLAIN / SET /
-// PING). Every connection gets its own session (options, prepared
-// statements); all sessions share the catalog, the data and the
-// compiled-query cache. A worker pool bounds how many statements execute
-// concurrently; SIGINT/SIGTERM trigger a graceful drain.
+// JSON frames; ops QUERY / EXEC / PREPARE / EXECUTE / EXPLAIN /
+// EXPLAIN_ANALYZE / SET / PING). Every connection gets its own session
+// (options, prepared statements); all sessions share the catalog, the
+// data and the compiled-query cache. A worker pool bounds how many
+// statements execute concurrently; SIGINT/SIGTERM trigger a graceful
+// drain. -metrics-addr adds a telemetry listener (/metrics, /healthz,
+// /debug/pprof) and -slow-query-ms a structured slow-query log.
 //
 //	permd -addr :5433 -workers 8 -tpch 0.01
 //	permd -init schema.sql
+//	permd -metrics-addr 127.0.0.1:9090 -slow-query-ms 100
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -26,6 +31,37 @@ import (
 	"perm/internal/spill"
 	"perm/internal/tpch"
 )
+
+// serveTelemetry exposes the observability endpoints on their own
+// listener (kept off the query port so scrapes never compete with the
+// wire protocol): /metrics in the Prometheus text format, /healthz for
+// liveness/readiness, and the standard /debug/pprof profiles.
+func serveTelemetry(addr string, db *perm.Database, srv *server.Server) {
+	reg := db.Metrics()
+	srv.RegisterMetrics(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck — client went away
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if srv.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+	}
+}
 
 func main() {
 	var (
@@ -43,6 +79,8 @@ func main() {
 		spillDir = flag.String("spill-dir", "", "directory for spill files (default $PERM_SPILL_DIR or the system temp dir)")
 		paraN    = flag.Int("parallelism", 0, "intra-query worker count (0 = $PERM_PARALLELISM or all cores, 1 = serial)")
 		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address (empty = disabled)")
+		slowMS   = flag.Int("slow-query-ms", -1, "log statements slower than this many milliseconds as JSON lines on stderr (0 = every statement, negative = disabled)")
 	)
 	flag.Parse()
 
@@ -96,6 +134,12 @@ func main() {
 	}
 
 	srv := server.New(db, *workers)
+	if *slowMS >= 0 {
+		srv.SetSlowQueryLog(time.Duration(*slowMS)*time.Millisecond, os.Stderr)
+	}
+	if *metrics != "" {
+		go serveTelemetry(*metrics, db, srv)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 	fmt.Fprintf(os.Stderr, "permd listening on %s (%d workers)\n", *addr, srv.Workers())

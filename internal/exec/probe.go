@@ -1,0 +1,45 @@
+package exec
+
+import (
+	"time"
+
+	"perm/internal/obs"
+	"perm/internal/types"
+)
+
+// Probe is the EXPLAIN ANALYZE instrumentation wrapper for row
+// operators: it forwards every call to the wrapped node and records wall
+// time per phase plus the emitted row count into Stats. Probes exist
+// only in instrumented trees (plan.Instrument inserts them after
+// planning), so plain execution never pays for them.
+type Probe struct {
+	Input Node
+	Stats *obs.OpStats
+}
+
+// NewProbe wraps n with a fresh stats collector.
+func NewProbe(n Node) *Probe { return &Probe{Input: n, Stats: &obs.OpStats{}} }
+
+func (p *Probe) Open() error {
+	t0 := time.Now()
+	err := p.Input.Open()
+	p.Stats.OpenNS += time.Since(t0).Nanoseconds()
+	return err
+}
+
+func (p *Probe) Next() (types.Row, error) {
+	t0 := time.Now()
+	r, err := p.Input.Next()
+	p.Stats.NextNS += time.Since(t0).Nanoseconds()
+	if r != nil {
+		p.Stats.Rows++
+	}
+	return r, err
+}
+
+func (p *Probe) Close() error {
+	t0 := time.Now()
+	err := p.Input.Close()
+	p.Stats.CloseNS += time.Since(t0).Nanoseconds()
+	return err
+}

@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+
+	"perm/internal/obs"
 )
 
 // Stats is a snapshot of an accountant level's cumulative counters.
@@ -190,6 +192,11 @@ type Reservation struct {
 	b    *Budget
 	op   string
 	used atomic.Int64
+	// peak and the spill counters feed EXPLAIN ANALYZE's per-operator
+	// annotations; they accumulate across Opens of the same plan node.
+	peak        atomic.Int64
+	spillBytes  atomic.Int64
+	spillEvents atomic.Int64
 }
 
 // Op returns the operator tag the reservation was opened with.
@@ -213,14 +220,27 @@ func (r *Reservation) Grow(n int64) bool {
 		return true
 	}
 	if !r.b.c.tryGrow(n) {
+		obs.MemDenials.Inc()
 		return false
 	}
 	if !r.b.gov.c.tryGrow(n) {
 		r.b.c.release(n)
+		obs.MemDenials.Inc()
 		return false
 	}
-	r.used.Add(n)
+	obs.MemGrants.Inc()
+	r.bumpPeak(r.used.Add(n))
 	return true
+}
+
+// bumpPeak lifts the reservation's high-water mark to nu if it grew.
+func (r *Reservation) bumpPeak(nu int64) {
+	for {
+		p := r.peak.Load()
+		if nu <= p || r.peak.CompareAndSwap(p, nu) {
+			return
+		}
+	}
 }
 
 // Force accounts n bytes unconditionally. Operators use it when a single
@@ -233,7 +253,8 @@ func (r *Reservation) Force(n int64) {
 	}
 	r.b.c.grow(n)
 	r.b.gov.c.grow(n)
-	r.used.Add(n)
+	obs.MemGrants.Inc()
+	r.bumpPeak(r.used.Add(n))
 }
 
 // Release returns n bytes to the budget.
@@ -273,8 +294,36 @@ func (r *Reservation) NoteSpill(bytes int64) {
 	if r == nil {
 		return
 	}
+	r.spillBytes.Add(bytes)
+	r.spillEvents.Add(1)
 	r.b.c.noteSpill(bytes)
 	r.b.gov.c.noteSpill(bytes)
+}
+
+// Peak returns the reservation's own high-water mark in bytes.
+func (r *Reservation) Peak() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.peak.Load()
+}
+
+// SpillBytes returns the bytes this reservation's operator wrote to
+// spill files.
+func (r *Reservation) SpillBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.spillBytes.Load()
+}
+
+// SpillEvents returns how many spill activations this reservation's
+// operator recorded.
+func (r *Reservation) SpillEvents() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.spillEvents.Load()
 }
 
 // ParseSize parses a human-readable byte size: a plain integer is bytes;

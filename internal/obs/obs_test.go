@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCountersConcurrent hammers one counter and one gauge from many
+// goroutines and checks the totals are exact (the -race CI job runs this
+// with the race detector on).
+func TestCountersConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Load(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	want := []int64{2, 2, 0, 1} // ≤10, ≤100, ≤1000, +Inf
+	for i, n := range want {
+		if got := h.buckets[i].Load(); got != n {
+			t.Fatalf("bucket %d = %d, want %d", i, got, n)
+		}
+	}
+	if h.sum.Load() != 5+10+11+100+5000 {
+		t.Fatalf("sum = %d", h.sum.Load())
+	}
+}
+
+// TestWritePrometheus pins the exposition format: one HELP/TYPE header
+// per family, labeled samples grouped under it, histograms rendered as
+// cumulative buckets with sum and count.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	var hits, misses Counter
+	hits.Add(3)
+	misses.Add(1)
+	r.CounterVar("perm_qcache_lookups_total", "Query cache lookups.", `event="hit"`, &hits)
+	r.CounterVar("perm_qcache_lookups_total", "Query cache lookups.", `event="miss"`, &misses)
+	var inuse Gauge
+	inuse.Set(4096)
+	r.GaugeVar("perm_mem_reserved_bytes", "Reserved bytes.", "", &inuse)
+	h := NewHistogram(1_000_000, 1_000_000_000)
+	h.Observe(500_000)
+	h.Observe(2_000_000_000)
+	r.HistogramVar("perm_query_duration_seconds", "Statement wall time.", h, 1e-9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP perm_qcache_lookups_total Query cache lookups.",
+		"# TYPE perm_qcache_lookups_total counter",
+		`perm_qcache_lookups_total{event="hit"} 3`,
+		`perm_qcache_lookups_total{event="miss"} 1`,
+		"# TYPE perm_mem_reserved_bytes gauge",
+		"perm_mem_reserved_bytes 4096",
+		"# TYPE perm_query_duration_seconds histogram",
+		`perm_query_duration_seconds_bucket{le="0.001"} 1`,
+		`perm_query_duration_seconds_bucket{le="1"} 1`,
+		`perm_query_duration_seconds_bucket{le="+Inf"} 2`,
+		"perm_query_duration_seconds_sum 2.0005",
+		"perm_query_duration_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	// Exactly one header per family even with multiple labeled samples.
+	if n := strings.Count(out, "# TYPE perm_qcache_lookups_total"); n != 1 {
+		t.Fatalf("family header repeated %d times", n)
+	}
+}

@@ -1,0 +1,346 @@
+// EXPLAIN ANALYZE: post-plan instrumentation and annotated rendering.
+//
+// Instrument wraps a freshly planned tree with probe nodes (exec.Probe /
+// vexec.Probe) that time every operator and count what it emits; the
+// tree then executes exactly as planned — probes forward batches and
+// rows by pointer — and ExplainAnalyzed re-renders the same EXPLAIN tree
+// with the observed runtime per operator attached. Instrumentation
+// happens after parallelize, so plan shape validation (which renders
+// replica trees to strings) never sees a probe, and parallel worker
+// subtrees — which run on their own goroutines — are never wrapped: the
+// parallel operator itself is probed as a unit, and worker-local detail
+// (per-worker morsel counts, worker spills) is read from the replica
+// trees after the operators' own barriers have published it.
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"perm/internal/exec"
+	"perm/internal/obs"
+	"perm/internal/spill"
+	"perm/internal/vexec"
+)
+
+// Instrument wraps every operator of a planned tree with an EXPLAIN
+// ANALYZE probe and returns the instrumented root. The tree is modified
+// in place (children are rewrapped); plan trees are per-execution, so
+// nothing shared is touched.
+func Instrument(n exec.Node) exec.Node {
+	return instrumentNode(n)
+}
+
+func instrumentNode(n exec.Node) exec.Node {
+	switch x := n.(type) {
+	case *exec.Scan:
+	case *exec.Filter:
+		x.Input = instrumentNode(x.Input)
+	case *exec.Project:
+		x.Input = instrumentNode(x.Input)
+	case *exec.NestedLoopJoin:
+		x.Left = instrumentNode(x.Left)
+		x.Right = instrumentNode(x.Right)
+	case *exec.HashJoin:
+		x.Left = instrumentNode(x.Left)
+		x.Right = instrumentNode(x.Right)
+	case *exec.HashAgg:
+		x.Input = instrumentNode(x.Input)
+	case *exec.Sort:
+		x.Input = instrumentNode(x.Input)
+	case *exec.Limit:
+		x.Input = instrumentNode(x.Input)
+	case *exec.Distinct:
+		x.Input = instrumentNode(x.Input)
+	case *exec.SetOp:
+		x.Left = instrumentNode(x.Left)
+		x.Right = instrumentNode(x.Right)
+	case *vexec.RowSource:
+		x.Input = instrumentVNode(x.Input)
+	}
+	return exec.NewProbe(n)
+}
+
+func instrumentVNode(n vexec.Node) vexec.Node {
+	switch x := n.(type) {
+	case *vexec.ColScan:
+	case *vexec.Filter:
+		x.Input = instrumentVNode(x.Input)
+	case *vexec.Project:
+		x.Input = instrumentVNode(x.Input)
+	case *vexec.HashJoin:
+		x.Left = instrumentVNode(x.Left)
+		x.Right = instrumentVNode(x.Right)
+	case *vexec.NLJoin:
+		x.Left = instrumentVNode(x.Left)
+		x.Right = instrumentVNode(x.Right)
+	case *vexec.HashAgg:
+		x.Input = instrumentVNode(x.Input)
+	case *vexec.VecSort:
+		x.Input = instrumentVNode(x.Input)
+	case *vexec.VecTopN:
+		x.Input = instrumentVNode(x.Input)
+	case *vexec.VecLimit:
+		x.Input = instrumentVNode(x.Input)
+	case *vexec.VecDistinct:
+		x.Input = instrumentVNode(x.Input)
+	case *vexec.VecSetOp:
+		x.Left = instrumentVNode(x.Left)
+		x.Right = instrumentVNode(x.Right)
+	case *vexec.Exchange, *vexec.ParallelAgg, *vexec.ParallelSort:
+		// Probed as a unit; worker subtrees run concurrently and must not
+		// share a coordinator-side collector.
+	}
+	return vexec.NewProbe(n)
+}
+
+// ExplainAnalyzed renders an instrumented tree after execution: the
+// EXPLAIN plan with per-operator runtime annotations, followed by the
+// total execution time.
+func ExplainAnalyzed(n exec.Node, total time.Duration) string {
+	var sb []byte
+	analyzeNode(n, 0, &sb)
+	sb = append(sb, fmt.Sprintf("Execution time: %s\n", fmtDur(total.Nanoseconds()))...)
+	return string(sb)
+}
+
+func analyzeNode(n exec.Node, depth int, out *[]byte) {
+	var st *obs.OpStats
+	if p, ok := n.(*exec.Probe); ok {
+		st, n = p.Stats, p.Input
+	}
+	line := func(label string, extra ...string) {
+		*out = append(*out, indent(depth)...)
+		*out = append(*out, label...)
+		*out = append(*out, annot(st, false, extra)...)
+		*out = append(*out, '\n')
+	}
+	switch x := n.(type) {
+	case *exec.Scan:
+		line(fmt.Sprintf("Scan (%d rows)", len(x.Rows)))
+	case *exec.Filter:
+		line("Filter")
+		analyzeNode(x.Input, depth+1, out)
+	case *exec.Project:
+		line(fmt.Sprintf("Project (%d cols)", len(x.Exprs)))
+		analyzeNode(x.Input, depth+1, out)
+	case *exec.NestedLoopJoin:
+		line(fmt.Sprintf("NestedLoopJoin (%s)", joinName(x.Type)))
+		analyzeNode(x.Left, depth+1, out)
+		analyzeNode(x.Right, depth+1, out)
+	case *exec.HashJoin:
+		line(fmt.Sprintf("HashJoin (%s, %d keys)", joinName(x.Type), len(x.LeftKeys)))
+		analyzeNode(x.Left, depth+1, out)
+		analyzeNode(x.Right, depth+1, out)
+	case *exec.HashAgg:
+		line(fmt.Sprintf("HashAggregate (%d groups, %d aggs)", len(x.Groups), len(x.Aggs)))
+		analyzeNode(x.Input, depth+1, out)
+	case *exec.Sort:
+		line(fmt.Sprintf("Sort (%d keys%s)", len(x.Keys), spillTag(x.Spill)), resAnnot(x.Spill)...)
+		analyzeNode(x.Input, depth+1, out)
+	case *exec.Limit:
+		line("Limit")
+		analyzeNode(x.Input, depth+1, out)
+	case *exec.Distinct:
+		line("Distinct")
+		analyzeNode(x.Input, depth+1, out)
+	case *exec.SetOp:
+		line(fmt.Sprintf("SetOp (%s, all=%v)", setOpName(x.Kind), x.All))
+		analyzeNode(x.Left, depth+1, out)
+		analyzeNode(x.Right, depth+1, out)
+	case *vexec.RowSource:
+		line("BatchToRow")
+		analyzeVNode(x.Input, depth+1, out)
+	default:
+		line(fmt.Sprintf("%T", n))
+	}
+}
+
+func analyzeVNode(n vexec.Node, depth int, out *[]byte) {
+	if t, ok := n.(*vexec.MorselTap); ok {
+		analyzeVNode(t.Input, depth, out)
+		return
+	}
+	var st *obs.OpStats
+	if p, ok := n.(*vexec.Probe); ok {
+		st, n = p.Stats, p.Input
+	}
+	line := func(label string, extra ...string) {
+		*out = append(*out, indent(depth)...)
+		*out = append(*out, label...)
+		*out = append(*out, annot(st, true, extra)...)
+		*out = append(*out, '\n')
+	}
+	switch x := n.(type) {
+	case *vexec.ColScan:
+		label := fmt.Sprintf("VecScan (%d rows)", x.NumRows)
+		if x.HasRuntimeFilters() {
+			label = fmt.Sprintf("VecScan (%d rows, RuntimeFilter)", x.NumRows)
+		}
+		line(label, scanAnnot(x)...)
+	case *vexec.Filter:
+		line("VecFilter")
+		analyzeVNode(x.Input, depth+1, out)
+	case *vexec.Project:
+		line(fmt.Sprintf("VecProject (%d cols)", len(x.Exprs)))
+		analyzeVNode(x.Input, depth+1, out)
+	case *vexec.HashJoin:
+		rf := ""
+		if x.PublishesFilters() {
+			rf = ", RuntimeFilter"
+		}
+		line(fmt.Sprintf("VecHashJoin (%s, %d keys%s%s)", vecJoinName(x.Type), len(x.LeftKeys), rf, spillTag(x.Spill)),
+			resAnnot(x.Spill)...)
+		analyzeVNode(x.Left, depth+1, out)
+		analyzeVNode(x.Right, depth+1, out)
+	case *vexec.NLJoin:
+		line(fmt.Sprintf("VecNestedLoopJoin (%s)", vecJoinName(x.Type)))
+		analyzeVNode(x.Left, depth+1, out)
+		analyzeVNode(x.Right, depth+1, out)
+	case *vexec.HashAgg:
+		line(fmt.Sprintf("VecHashAggregate (%d groups, %d aggs%s)", len(x.Groups), len(x.Aggs), spillTag(x.Spill)),
+			resAnnot(x.Spill)...)
+		analyzeVNode(x.Input, depth+1, out)
+	case *vexec.VecSort:
+		line(fmt.Sprintf("VecSort (%d keys%s)", len(x.Keys), spillTag(x.Spill)), resAnnot(x.Spill)...)
+		analyzeVNode(x.Input, depth+1, out)
+	case *vexec.VecTopN:
+		line(fmt.Sprintf("VecTopN (%d keys, keep %d)", len(x.Keys), x.Offset+x.Count))
+		analyzeVNode(x.Input, depth+1, out)
+	case *vexec.VecLimit:
+		line("VecLimit")
+		analyzeVNode(x.Input, depth+1, out)
+	case *vexec.VecDistinct:
+		if tag := spillTag(x.Spill); tag != "" {
+			line(fmt.Sprintf("VecDistinct (%s)", tag[2:]), resAnnot(x.Spill)...)
+		} else {
+			line("VecDistinct")
+		}
+		analyzeVNode(x.Input, depth+1, out)
+	case *vexec.VecSetOp:
+		line(fmt.Sprintf("VecSetOp (%s, all=%v%s)", setOpName(x.Kind), x.All, spillTag(x.Spill)),
+			resAnnot(x.Spill)...)
+		analyzeVNode(x.Left, depth+1, out)
+		analyzeVNode(x.Right, depth+1, out)
+	case *vexec.Exchange:
+		drivers := make([]*vexec.ColScan, len(x.Workers))
+		for i, w := range x.Workers {
+			drivers[i] = spineDriver(w.Input)
+		}
+		line(fmt.Sprintf("Exchange (workers=%d)", len(x.Workers)), workerAnnot(drivers, nil)...)
+		analyzeVNode(x.Workers[0].Input, depth+1, out)
+	case *vexec.ParallelAgg:
+		h := x.Workers[0]
+		drivers := make([]*vexec.ColScan, len(x.Workers))
+		res := make([]spill.Resources, len(x.Workers))
+		for i, w := range x.Workers {
+			drivers[i] = spineDriver(w.Input)
+			res[i] = w.Spill
+		}
+		line(fmt.Sprintf("VecHashAggregate (%d groups, %d aggs%s, workers=%d)",
+			len(h.Groups), len(h.Aggs), spillTag(h.Spill), len(x.Workers)), workerAnnot(drivers, res)...)
+		analyzeVNode(h.Input, depth+1, out)
+	case *vexec.ParallelSort:
+		w0 := x.Workers[0]
+		drivers := make([]*vexec.ColScan, len(x.Workers))
+		res := make([]spill.Resources, len(x.Workers))
+		for i, w := range x.Workers {
+			drivers[i] = spineDriver(w.Input)
+			res[i] = w.Spill
+		}
+		line(fmt.Sprintf("VecSort (%d keys%s, workers=%d)",
+			len(w0.Keys), spillTag(w0.Spill), len(x.Workers)), workerAnnot(drivers, res)...)
+		analyzeVNode(w0.Input, depth+1, out)
+	default:
+		line(fmt.Sprintf("%T", n))
+	}
+}
+
+// annot renders the shared probe annotation: wall time, emitted rows,
+// and (vectorized) batches, plus any operator-specific extras. Nodes
+// without a probe (worker replica subtrees) still show their extras.
+func annot(st *obs.OpStats, vec bool, extra []string) string {
+	var parts []string
+	if st != nil {
+		parts = append(parts, "time="+fmtDur(st.TotalNS()), fmt.Sprintf("rows=%d", st.Rows))
+		if vec {
+			parts = append(parts, fmt.Sprintf("batches=%d", st.Batches))
+		}
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (actual " + strings.Join(parts, " ") + ")"
+}
+
+// resAnnot renders a spill-capable operator's memory annotation from its
+// reservation: peak bytes held, and spill events/bytes when it spilled.
+func resAnnot(res spill.Resources) []string {
+	r := res.Res
+	if r == nil {
+		return nil
+	}
+	var parts []string
+	if p := r.Peak(); p > 0 {
+		parts = append(parts, fmt.Sprintf("mem=%dB", p))
+	}
+	if e := r.SpillEvents(); e > 0 {
+		parts = append(parts, fmt.Sprintf("spills=%d spilled=%dB", e, r.SpillBytes()))
+	}
+	return parts
+}
+
+// scanAnnot renders a columnar scan's morsel count (parallel workers)
+// and runtime-filter selectivity.
+func scanAnnot(s *vexec.ColScan) []string {
+	var parts []string
+	if n := s.MorselsTaken(); n > 0 {
+		parts = append(parts, fmt.Sprintf("morsels=%d", n))
+	}
+	if s.HasRuntimeFilters() {
+		tested, admitted := s.RuntimeFilterStats()
+		parts = append(parts, fmt.Sprintf("rf=%d/%d admitted", admitted, tested))
+	}
+	return parts
+}
+
+// workerAnnot renders a parallel operator's per-worker morsel counts and
+// aggregated worker spill counters (read after the operator's barrier).
+func workerAnnot(drivers []*vexec.ColScan, res []spill.Resources) []string {
+	counts := make([]int, len(drivers))
+	for i, d := range drivers {
+		if d != nil {
+			counts[i] = d.MorselsTaken()
+		}
+	}
+	parts := []string{fmt.Sprintf("morsels/worker=%v", counts)}
+	var events, bytes int64
+	for _, rs := range res {
+		events += rs.Res.SpillEvents()
+		bytes += rs.Res.SpillBytes()
+	}
+	if events > 0 {
+		parts = append(parts, fmt.Sprintf("spills=%d spilled=%dB", events, bytes))
+	}
+	return parts
+}
+
+func indent(depth int) []byte {
+	b := make([]byte, depth*2)
+	for i := range b {
+		b[i] = ' '
+	}
+	return b
+}
+
+// fmtDur renders nanoseconds rounded to the microsecond (exact below
+// that), so annotations stay readable without losing nonzero timings.
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	if r := d.Round(time.Microsecond); r != 0 {
+		d = r
+	}
+	return d.String()
+}

@@ -25,6 +25,7 @@ package plan
 
 import (
 	"perm/internal/algebra"
+	"perm/internal/obs"
 	"perm/internal/types"
 	"perm/internal/vexec"
 )
@@ -62,19 +63,24 @@ func (p *Planner) parallelize(q *algebra.Query, pl *planned) {
 	for i := 1; i < p.parallelism; i++ {
 		rpl, err := p.planQuery(q)
 		if err != nil || rpl.vnode == nil || vnodeShape(rpl.vnode) != shape {
+			obs.SerialFallbacks.Inc()
 			return
 		}
 		rsite := nthWrapperChild(rpl.vnode, depth)
 		if rsite == nil {
+			obs.SerialFallbacks.Inc()
 			return
 		}
 		rdriver := spineDriver(siteSpine(rsite, kind))
 		if rdriver == nil || !sameSnapshot(driver0, rdriver) {
+			obs.SerialFallbacks.Inc()
 			return
 		}
 		sites = append(sites, rsite)
 		drivers = append(drivers, rdriver)
 	}
+	obs.ParallelPlans.Inc()
+	obs.ParallelWorkers.Add(int64(len(sites)))
 	disp := vexec.NewMorsels(driver0.NumRows)
 	var pn vexec.Node
 	switch kind {
@@ -200,6 +206,11 @@ func spineDriver(n vexec.Node) *vexec.ColScan {
 		return spineDriver(x.Left)
 	case *vexec.NLJoin:
 		return spineDriver(x.Left)
+	case *vexec.MorselTap:
+		// Wired worker pipelines (ParallelAgg/ParallelSort inputs) carry a
+		// tap above the spine; EXPLAIN ANALYZE walks through it to reach
+		// the driver scan for per-worker morsel counts.
+		return spineDriver(x.Input)
 	}
 	return nil
 }

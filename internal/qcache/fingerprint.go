@@ -1,0 +1,116 @@
+package qcache
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Normalize returns the parameterized form of a statement text: string
+// and numeric literals are replaced with '?', identifiers and keywords
+// are lowercased, and whitespace runs collapse to single spaces. Two
+// statements that differ only in their literal values normalize to the
+// same text — the key shape a parameterized plan cache wants.
+//
+// The compiled-query cache itself still keys on the raw text: its
+// artifacts are optimized trees with the literals folded in (constant
+// folding, stats-driven join orders), so serving them across literals
+// would be wrong. Normalize exists for identity, not for artifact reuse:
+// the slow-query log and EXPLAIN ANALYZE fingerprint statements with it
+// so one query shape aggregates across its parameter values.
+func Normalize(text string) string {
+	var sb strings.Builder
+	sb.Grow(len(text))
+	prevIdent := false // previous emitted byte continues an identifier
+	pendingSpace := false
+	emit := func(b byte) {
+		if pendingSpace {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			pendingSpace = false
+		}
+		sb.WriteByte(b)
+	}
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '\'':
+			// String literal with '' escapes.
+			i++
+			for i < len(text) {
+				if text[i] == '\'' {
+					if i+1 < len(text) && text[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			emit('?')
+			prevIdent = false
+			continue
+		case c >= '0' && c <= '9' && !prevIdent:
+			// Numeric literal (digits, optional fraction and exponent).
+			j := i
+			for j < len(text) && isDigit(text[j]) {
+				j++
+			}
+			if j < len(text) && text[j] == '.' {
+				j++
+				for j < len(text) && isDigit(text[j]) {
+					j++
+				}
+			}
+			if j < len(text) && (text[j] == 'e' || text[j] == 'E') {
+				k := j + 1
+				if k < len(text) && (text[k] == '+' || text[k] == '-') {
+					k++
+				}
+				if k < len(text) && isDigit(text[k]) {
+					for k < len(text) && isDigit(text[k]) {
+						k++
+					}
+					j = k
+				}
+			}
+			i = j
+			emit('?')
+			prevIdent = false
+			continue
+		case isIdentByte(c):
+			lc := c
+			if c >= 'A' && c <= 'Z' {
+				lc = c + ('a' - 'A')
+			}
+			emit(lc)
+			prevIdent = true
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pendingSpace = true
+			prevIdent = false
+		default:
+			emit(c)
+			prevIdent = false
+		}
+		i++
+	}
+	return sb.String()
+}
+
+// Fingerprint returns a 16-hex-digit hash of Normalize(text): a stable
+// identity for a query shape, shared by the slow-query log, EXPLAIN
+// ANALYZE output and benchmark tooling.
+func Fingerprint(text string) string {
+	h := fnv.New64a()
+	h.Write([]byte(Normalize(text))) //nolint:errcheck — fnv never fails
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

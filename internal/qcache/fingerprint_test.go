@@ -1,0 +1,51 @@
+package qcache
+
+import "testing"
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT * FROM shop WHERE name = 'Merdies'", "select * from shop where name = ?"},
+		{"select *   from\n\tshop", "select * from shop"},
+		{"SELECT a + 10 FROM t WHERE b < 2.5e3", "select a + ? from t where b < ?"},
+		{"SELECT 'it''s' FROM t2", "select ? from t2"}, // digit inside identifier survives
+		{"  SELECT 1  ", "select ?"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Fatalf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestFingerprint pins the parameterization property: same shape,
+// different literals → same fingerprint; different shape → different.
+func TestFingerprint(t *testing.T) {
+	a := Fingerprint("SELECT name FROM shop WHERE numempl > 3")
+	b := Fingerprint("select name from  shop where numempl > 100")
+	if a != b {
+		t.Fatalf("literal-only variants fingerprint differently: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex digits", a)
+	}
+	if c := Fingerprint("SELECT name FROM sales WHERE numempl > 3"); c == a {
+		t.Fatalf("distinct statements share fingerprint %s", a)
+	}
+}
+
+func TestContainsDoesNotCount(t *testing.T) {
+	c := New(8)
+	c.Put("k", 1, 7)
+	if !c.Contains("k", 7) {
+		t.Fatal("Contains missed a live entry")
+	}
+	if c.Contains("k", 8) {
+		t.Fatal("Contains matched a stale version")
+	}
+	if c.Contains("other", 7) {
+		t.Fatal("Contains matched a missing key")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Contains moved the counters: %+v", st)
+	}
+}

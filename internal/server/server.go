@@ -12,16 +12,30 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"perm"
+	"perm/internal/obs"
+	"perm/internal/qcache"
 	"perm/internal/session"
 	"perm/internal/wire"
 )
+
+// slowLog is the slow-query log configuration (immutable once set; the
+// pointer swaps atomically so handlers never lock to check it).
+type slowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex // serializes writes to w
+	w         io.Writer
+}
 
 // Server serves the Perm wire protocol over TCP.
 type Server struct {
@@ -35,6 +49,18 @@ type Server struct {
 
 	connWg sync.WaitGroup // running connection handlers
 	reqWg  sync.WaitGroup // in-flight requests (for graceful drain)
+
+	// Request-path metrics. Counted per request/connection — never
+	// per-row — so the observation cost is one atomic add per event.
+	connsTotal  obs.Counter
+	connsActive obs.Gauge
+	reqsTotal   obs.Counter
+	errsTotal   obs.Counter
+	slowTotal   obs.Counter
+	drainGauge  obs.Gauge
+	reqDur      *obs.Histogram
+
+	slow atomic.Pointer[slowLog]
 }
 
 // New returns a server over db. workers bounds how many statements
@@ -47,11 +73,50 @@ func New(db *perm.Database, workers int) *Server {
 		db:    db,
 		sem:   make(chan struct{}, workers),
 		conns: make(map[net.Conn]struct{}),
+		// Request latency buckets from 100µs to 10s (observed in
+		// nanoseconds, exposed in seconds).
+		reqDur: obs.NewHistogram(
+			100_000, 1_000_000, 5_000_000, 10_000_000, 50_000_000,
+			100_000_000, 500_000_000, 1_000_000_000, 5_000_000_000, 10_000_000_000),
 	}
 }
 
 // Workers returns the worker-pool size.
 func (s *Server) Workers() int { return cap(s.sem) }
+
+// Draining reports whether Shutdown has started (health endpoints use
+// this to fail readiness before the listener closes).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// RegisterMetrics adds the server's metric families (connection and
+// request counters, the request-latency histogram) to a registry —
+// typically the one db.Metrics() returned, so one /metrics endpoint
+// exposes engine and server state together.
+func (s *Server) RegisterMetrics(r *obs.Registry) {
+	r.CounterVar("perm_server_connections_total", "Client connections accepted.", "", &s.connsTotal)
+	r.GaugeVar("perm_server_connections_active", "Client connections currently open.", "", &s.connsActive)
+	r.CounterVar("perm_server_requests_total", "Requests dispatched.", "", &s.reqsTotal)
+	r.CounterVar("perm_server_errors_total", "Requests answered with an error.", "", &s.errsTotal)
+	r.CounterVar("perm_server_slow_queries_total", "Requests over the slow-query threshold.", "", &s.slowTotal)
+	r.GaugeVar("perm_server_draining", "1 while the server is shutting down.", "", &s.drainGauge)
+	r.HistogramVar("perm_query_duration_seconds", "Request execution latency.", s.reqDur, 1e-9)
+}
+
+// SetSlowQueryLog arms the slow-query log: every request that runs
+// longer than threshold is recorded as one JSON line on w (the write is
+// serialized; w need not be safe for concurrent use). A zero threshold
+// logs every request; a nil w disarms the log.
+func (s *Server) SetSlowQueryLog(threshold time.Duration, w io.Writer) {
+	if w == nil {
+		s.slow.Store(nil)
+		return
+	}
+	s.slow.Store(&slowLog{threshold: threshold, w: w})
+}
 
 // ListenAndServe listens on addr and serves until Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
@@ -116,6 +181,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	ln := s.ln
 	s.mu.Unlock()
+	s.drainGauge.Set(1)
 	if ln != nil {
 		ln.Close() //nolint:errcheck
 	}
@@ -143,6 +209,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.connWg.Done()
+	s.connsTotal.Inc()
+	s.connsActive.Inc()
 	sess := session.New(s.db)
 	defer sess.Close()
 	defer func() {
@@ -150,6 +218,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close() //nolint:errcheck
+		s.connsActive.Dec()
 	}()
 
 	for {
@@ -169,8 +238,24 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.reqWg.Add(1)
 		s.mu.Unlock()
 		s.sem <- struct{}{} // acquire a worker slot
+		slow := s.slow.Load()
+		var pre queryPrecondition
+		if slow != nil {
+			pre = s.precondition(sess, req)
+		}
+		start := time.Now()
 		resp := s.dispatch(sess, req)
+		dur := time.Since(start)
 		<-s.sem
+		s.reqsTotal.Inc()
+		s.reqDur.Observe(dur.Nanoseconds())
+		if resp.Err != "" {
+			s.errsTotal.Inc()
+		}
+		if slow != nil && dur >= slow.threshold {
+			s.slowTotal.Inc()
+			s.logSlow(slow, sess, req, resp, dur, pre)
+		}
 		// A response that cannot be encoded (unmarshalable values, frame
 		// too large) becomes an error response; only real I/O failures
 		// tear down the connection (and with it the session).
@@ -227,6 +312,12 @@ func (s *Server) dispatch(sess *session.Session, req *wire.Request) *wire.Respon
 			return wire.ErrorResponse(err)
 		}
 		return &wire.Response{OK: true, Plan: plan}
+	case wire.OpExplainAnalyze:
+		plan, err := sess.ExplainAnalyze(req.SQL)
+		if err != nil {
+			return wire.ErrorResponse(err)
+		}
+		return &wire.Response{OK: true, Plan: plan}
 	case wire.OpSet:
 		if err := sess.SetOption(req.Name, req.SQL); err != nil {
 			return wire.ErrorResponse(err)
@@ -244,4 +335,66 @@ func resultResponse(res *perm.Result) *wire.Response {
 		Prov:    res.ProvColumns,
 		Rows:    res.RawRows(),
 	}
+}
+
+// queryPrecondition is state captured before a request executes, so the
+// slow-query log can report per-statement deltas. Only taken when the
+// slow-query log is armed.
+type queryPrecondition struct {
+	cacheHit bool
+	stats    perm.QueryStats // session budget counters before execution
+}
+
+func (s *Server) precondition(sess *session.Session, req *wire.Request) queryPrecondition {
+	db := sess.DB()
+	return queryPrecondition{
+		cacheHit: req.SQL != "" && db.QueryCached(req.SQL),
+		stats:    db.SessionQueryStats(),
+	}
+}
+
+// slowEntry is one slow-query log line.
+type slowEntry struct {
+	Time         string  `json:"ts"`
+	Op           string  `json:"op"`
+	Fingerprint  string  `json:"fingerprint,omitempty"`
+	DurationMS   float64 `json:"duration_ms"`
+	Rows         int     `json:"rows"`
+	CacheHit     bool    `json:"cache_hit"`
+	SpilledBytes int64   `json:"spilled_bytes"`
+	SpillEvents  uint64  `json:"spill_events"`
+	Parallelism  int     `json:"parallelism"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// logSlow emits one JSON line for a request that crossed the slow-query
+// threshold. Spill counters are the session budget's delta across the
+// statement, so concurrent sessions don't bleed into each other.
+func (s *Server) logSlow(sl *slowLog, sess *session.Session, req *wire.Request, resp *wire.Response, dur time.Duration, pre queryPrecondition) {
+	db := sess.DB()
+	post := db.SessionQueryStats()
+	e := slowEntry{
+		Time:         time.Now().UTC().Format(time.RFC3339Nano),
+		Op:           req.Op,
+		DurationMS:   float64(dur.Microseconds()) / 1000,
+		Rows:         len(resp.Rows),
+		CacheHit:     pre.cacheHit,
+		SpilledBytes: post.BytesSpilled - pre.stats.BytesSpilled,
+		SpillEvents:  post.SpillEvents - pre.stats.SpillEvents,
+		Parallelism:  db.Opts().Parallelism,
+		Err:          resp.Err,
+	}
+	if req.SQL != "" {
+		e.Fingerprint = qcache.Fingerprint(req.SQL)
+	}
+	if resp.Rows == nil {
+		e.Rows = resp.Affected
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.w.Write(append(line, '\n')) //nolint:errcheck — logging is best-effort
 }

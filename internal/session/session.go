@@ -28,12 +28,14 @@ import (
 
 	"perm"
 	"perm/internal/mem"
+	"perm/internal/obs"
 )
 
 // Session is one client's state against a shared database.
 type Session struct {
 	mu       sync.Mutex
 	db       *perm.Database
+	closed   bool
 	prepared map[string]*perm.Prepared
 	portals  map[string]*perm.Cursor
 	// baseMemLimit is the server-configured memory limit the session
@@ -48,6 +50,7 @@ type Session struct {
 // memory budget under the shared engine governor — so concurrent
 // sessions spill independently instead of draining one shared budget.
 func New(db *perm.Database) *Session {
+	obs.SessionsActive.Inc()
 	return &Session{
 		db:              db.WithOptions(db.Opts()),
 		prepared:        make(map[string]*perm.Prepared),
@@ -80,6 +83,12 @@ func (s *Session) Explain(text string) (string, error) {
 	return s.DB().ExplainSQL(text)
 }
 
+// ExplainAnalyze executes a query under instrumentation and returns the
+// plan annotated with per-operator runtime statistics.
+func (s *Session) ExplainAnalyze(text string) (string, error) {
+	return s.DB().ExplainAnalyzeSQL(text)
+}
+
 // Prepare compiles a SELECT under the given name. Re-preparing an
 // existing name replaces it (the old statement is deallocated), matching
 // the server protocol's idempotent PREPARE.
@@ -92,6 +101,9 @@ func (s *Session) Prepare(name, text string) error {
 		return err
 	}
 	s.mu.Lock()
+	if _, replaced := s.prepared[name]; !replaced {
+		obs.PreparedStatements.Inc()
+	}
 	s.prepared[name] = p
 	s.mu.Unlock()
 	return nil
@@ -116,6 +128,7 @@ func (s *Session) Deallocate(name string) error {
 		return fmt.Errorf("prepared statement %q does not exist", name)
 	}
 	delete(s.prepared, name)
+	obs.PreparedStatements.Dec()
 	return nil
 }
 
@@ -197,7 +210,8 @@ func (s *Session) ClosePortal(portal string) error {
 	return cur.Close()
 }
 
-// Close releases every portal and prepared statement.
+// Close releases every portal and prepared statement. Closing an
+// already-closed session is a no-op.
 func (s *Session) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -205,6 +219,11 @@ func (s *Session) Close() {
 		cur.Close() //nolint:errcheck
 	}
 	s.portals = make(map[string]*perm.Cursor)
+	if !s.closed {
+		s.closed = true
+		obs.SessionsActive.Dec()
+		obs.PreparedStatements.Add(-int64(len(s.prepared)))
+	}
 	s.prepared = make(map[string]*perm.Prepared)
 }
 

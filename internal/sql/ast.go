@@ -203,10 +203,13 @@ type DeleteStmt struct {
 
 func (*DeleteStmt) stmt() {}
 
-// ExplainStmt is EXPLAIN [REWRITE] select: REWRITE shows the provenance-
-// rewritten query text, plain EXPLAIN the physical plan.
+// ExplainStmt is EXPLAIN [REWRITE|ANALYZE] select: REWRITE shows the
+// provenance-rewritten query text, ANALYZE executes the query and shows
+// the physical plan annotated with per-operator runtime statistics, and
+// plain EXPLAIN shows the physical plan without executing.
 type ExplainStmt struct {
 	Rewrite bool
+	Analyze bool
 	Query   *SelectStmt
 }
 

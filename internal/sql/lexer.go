@@ -66,7 +66,7 @@ var keywords = map[string]bool{
 	"MONTH": true, "DAY": true, "SUBSTRING": true, "FOR": true,
 	"PROVENANCE": true, "BASERELATION": true,
 	"PRIMARY": true, "KEY": true, "IF": true,
-	"EXPLAIN": true, "REWRITE": true, "DELETE": true, "UPDATE": true, "SET": true,
+	"EXPLAIN": true, "REWRITE": true, "ANALYZE": true, "DELETE": true, "UPDATE": true, "SET": true,
 	"NULLS": true, "FIRST": true, "LAST": true,
 }
 

@@ -214,11 +214,18 @@ func (p *Parser) parseExplain() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	analyze := false
+	if !rewrite {
+		analyze, err = p.accept("ANALYZE")
+		if err != nil {
+			return nil, err
+		}
+	}
 	sel, err := p.parseSelectStmt()
 	if err != nil {
 		return nil, err
 	}
-	return &ExplainStmt{Rewrite: rewrite, Query: sel}, nil
+	return &ExplainStmt{Rewrite: rewrite, Analyze: analyze, Query: sel}, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"perm/internal/exec"
+	"perm/internal/obs"
 	"perm/internal/spill"
 	"perm/internal/types"
 	"perm/internal/vector"
@@ -84,6 +85,7 @@ func (m *Morsels) grab(limit int) (seq int64, lo, hi int, ok bool) {
 	if hi > limit {
 		hi = limit
 	}
+	obs.MorselsDispatched.Inc()
 	return s, lo, hi, true
 }
 

@@ -72,6 +72,10 @@ type ColScan struct {
 	disp      *Morsels
 	morselSeq int64
 	morselEnd int
+	// morselsTaken counts the morsels this scan claimed (worker-local;
+	// coordinators read it after the worker barrier for EXPLAIN ANALYZE's
+	// per-worker morsel counts).
+	morselsTaken int
 
 	rfs     []rfBinding
 	winCols []*vector.Vec
@@ -106,9 +110,25 @@ func (s *ColScan) CurrentMorsel() int64 { return s.morselSeq }
 // CurrentBand implements TagSource: the scan's bands are its morsels.
 func (s *ColScan) CurrentBand() int64 { return s.morselSeq }
 
+// MorselsTaken returns how many morsels the scan claimed from its
+// dispatcher (0 for a serial scan). Only read it after the scan's worker
+// has finished (the parallel operators' barriers publish it).
+func (s *ColScan) MorselsTaken() int { return s.morselsTaken }
+
+// RuntimeFilterStats sums the tested/admitted lane counts over the
+// scan's runtime-filter bindings (EXPLAIN ANALYZE).
+func (s *ColScan) RuntimeFilterStats() (tested, admitted int) {
+	for i := range s.rfs {
+		tested += s.rfs[i].tested
+		admitted += s.rfs[i].admitted
+	}
+	return tested, admitted
+}
+
 func (s *ColScan) Open() error {
 	s.pos = 0
 	s.morselSeq, s.morselEnd = 0, 0
+	s.morselsTaken = 0
 	for i := range s.rfs {
 		s.rfs[i].tested, s.rfs[i].admitted, s.rfs[i].dead = 0, 0, false
 	}
@@ -131,6 +151,7 @@ func (s *ColScan) Next() (*vector.Batch, error) {
 				if !ok {
 					return nil, nil
 				}
+				s.morselsTaken++
 				s.morselSeq, s.pos, s.morselEnd = seq, lo, hi
 			}
 			limit = s.morselEnd

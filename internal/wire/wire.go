@@ -34,6 +34,10 @@ const (
 	OpExplain = "EXPLAIN" // return the physical plan of SQL as text
 	OpSet     = "SET"     // set the session option Name to SQL (option value)
 	OpPing    = "PING"    // liveness check
+
+	// OpExplainAnalyze executes SQL under instrumentation and returns the
+	// plan annotated with per-operator runtime statistics as text.
+	OpExplainAnalyze = "EXPLAIN_ANALYZE"
 )
 
 // Request is one client command.

@@ -1,0 +1,168 @@
+package perm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"perm/internal/algebra"
+	"perm/internal/exec"
+	"perm/internal/obs"
+	"perm/internal/plan"
+	"perm/internal/qcache"
+	"perm/internal/sql"
+)
+
+// QueryAnalyzed runs a single SELECT statement with EXPLAIN ANALYZE
+// instrumentation: every plan operator is wrapped in a probe that times
+// it and counts what it emits. It returns the query result — identical
+// to what Query returns, probes forward rows untouched — together with
+// the annotated plan report.
+//
+// Compilation goes through the shared compiled-query cache exactly like
+// Query; only execution differs (the generic row collector is used so
+// the probe on the plan root observes every row).
+func (db *Database) QueryAnalyzed(text string) (*Result, string, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, "", err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok || sel.Into != "" {
+		return nil, "", fmt.Errorf("EXPLAIN ANALYZE requires a plain SELECT statement")
+	}
+	return db.analyzeSelect(sel, text, text)
+}
+
+// ExplainAnalyzeSQL executes a query under instrumentation and returns
+// only the annotated plan report (the result rows are computed — ANALYZE
+// always executes — and discarded).
+func (db *Database) ExplainAnalyzeSQL(text string) (string, error) {
+	_, report, err := db.QueryAnalyzed(text)
+	return report, err
+}
+
+// analyzeSelect compiles (through the cache when cacheText is non-empty),
+// plans, instruments and executes a SELECT, returning the boxed result
+// and the annotated plan. fpText is the statement text fingerprinted in
+// the report footer.
+func (db *Database) analyzeSelect(sel *sql.SelectStmt, cacheText, fpText string) (*Result, string, error) {
+	var q *algebra.Query
+	var ok bool
+	if cacheText != "" {
+		q, ok = db.cacheGet(cacheText)
+	}
+	if !ok {
+		var err error
+		q, err = db.compileSelect(sel, cacheText)
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	node, err := db.planner().Plan(q)
+	if err != nil {
+		return nil, "", err
+	}
+	// Instrument after planning (and after parallelize): plan validation
+	// never sees a probe, and worker subtrees stay unwrapped.
+	node = plan.Instrument(node)
+	schema := q.Schema()
+	res := &Result{
+		Columns:     schema.Names(),
+		ProvColumns: make([]bool, len(schema)),
+	}
+	for _, pc := range q.ProvCols {
+		res.ProvColumns[pc.Col] = true
+	}
+	start := time.Now()
+	rows, err := exec.Collect(node)
+	total := time.Since(start)
+	if err != nil {
+		return nil, "", err
+	}
+	res.Rows = make([][]Value, len(rows))
+	for i, r := range rows {
+		vr := make([]Value, len(r))
+		for j, v := range r {
+			vr[j] = Value{v: v}
+		}
+		res.Rows[i] = vr
+	}
+	report := plan.ExplainAnalyzed(node, total) +
+		"Fingerprint: " + qcache.Fingerprint(fpText) + "\n"
+	return res, report, nil
+}
+
+// stripExplainPrefix removes a leading EXPLAIN ANALYZE from a statement
+// text so the analyzed query fingerprints (and caches) the same as the
+// bare SELECT would. Texts not of that shape are returned unchanged.
+func stripExplainPrefix(text string) string {
+	s := strings.TrimLeft(text, " \t\r\n")
+	for _, kw := range []string{"EXPLAIN", "ANALYZE"} {
+		if len(s) < len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+			return text
+		}
+		rest := strings.TrimLeft(s[len(kw):], " \t\r\n")
+		if rest == s[len(kw):] {
+			return text // keyword not followed by whitespace
+		}
+		s = rest
+	}
+	return s
+}
+
+// QueryCached reports whether a compiled artifact for the statement text
+// is currently cached (under this handle's options and the current
+// catalog version) without touching the cache counters or LRU order. The
+// slow-query log uses it to label a statement's cache outcome.
+func (db *Database) QueryCached(text string) bool {
+	if db.opts.DisableQueryCache {
+		return false
+	}
+	return db.cache.Contains(db.optsKey+"\x00"+text, db.cat.Version())
+}
+
+// Metrics returns a registry exposing the engine's metric families in
+// the Prometheus text format: compiled-query cache traffic, memory
+// accounting and spill volume, intra-query parallelism activity, and
+// session gauges. The families read live engine state on each
+// exposition; the registry itself adds no cost to query execution.
+// Callers (permd's telemetry endpoint, benchmark tooling) may register
+// further families on the returned registry.
+func (db *Database) Metrics() *obs.Registry {
+	r := obs.NewRegistry()
+
+	cacheHelp := "Compiled-query cache lookups by outcome."
+	cacheEvent := func(event string, read func(qcache.Stats) uint64) {
+		r.ReadFunc("perm_qcache_lookups_total", cacheHelp, obs.TypeCounter,
+			`event="`+event+`"`, func() float64 { return float64(read(db.cache.Stats())) })
+	}
+	cacheEvent("hit", func(s qcache.Stats) uint64 { return s.Hits })
+	cacheEvent("miss", func(s qcache.Stats) uint64 { return s.Misses })
+	cacheEvent("invalidation", func(s qcache.Stats) uint64 { return s.Invalidations })
+	cacheEvent("eviction", func(s qcache.Stats) uint64 { return s.Evictions })
+	r.ReadFunc("perm_qcache_entries", "Compiled artifacts currently cached.", obs.TypeGauge, "",
+		func() float64 { return float64(db.cache.Len()) })
+
+	r.ReadFunc("perm_mem_reserved_bytes", "Bytes currently reserved by materializing operators.", obs.TypeGauge, "",
+		func() float64 { return float64(db.gov.Stats().InUse) })
+	r.ReadFunc("perm_mem_peak_bytes", "High-water mark of reserved bytes.", obs.TypeGauge, "",
+		func() float64 { return float64(db.gov.Stats().Peak) })
+	r.ReadFunc("perm_mem_spilled_bytes_total", "Cumulative bytes written to spill files.", obs.TypeCounter, "",
+		func() float64 { return float64(db.gov.Stats().BytesSpilled) })
+	r.ReadFunc("perm_mem_spill_events_total", "Spill activations (runs/partitions written).", obs.TypeCounter, "",
+		func() float64 { return float64(db.gov.Stats().SpillEvents) })
+	r.CounterVar("perm_mem_grants_total", "Operator memory requests granted.", "", &obs.MemGrants)
+	r.CounterVar("perm_mem_denials_total", "Operator memory requests denied (spill trigger).", "", &obs.MemDenials)
+
+	r.CounterVar("perm_parallel_morsels_total", "Morsels dispatched to parallel worker scans.", "", &obs.MorselsDispatched)
+	r.CounterVar("perm_parallel_plans_total", "Queries planned with a parallel operator.", "", &obs.ParallelPlans)
+	r.CounterVar("perm_parallel_workers_total", "Workers launched by parallel plans.", "", &obs.ParallelWorkers)
+	r.CounterVar("perm_parallel_serial_fallbacks_total", "Parallel sites that fell back to serial execution.", "", &obs.SerialFallbacks)
+
+	r.GaugeVar("perm_sessions_active", "Sessions currently open.", "", &obs.SessionsActive)
+	r.GaugeVar("perm_prepared_statements", "Prepared statements currently held by sessions.", "", &obs.PreparedStatements)
+	r.ReadFunc("perm_catalog_version", "Current catalog version (moves on every DDL/DML).", obs.TypeGauge, "",
+		func() float64 { return float64(db.cat.Version()) })
+	return r
+}

@@ -1,0 +1,342 @@
+package perm_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"perm"
+	"perm/internal/obs"
+	"perm/internal/session"
+	"perm/internal/tpch"
+)
+
+// assertAnalyzedTransparent requires that running a query under EXPLAIN
+// ANALYZE instrumentation returns byte-identical results — same columns,
+// same rows, same order — as the plain run. Probes forward batches and
+// rows by pointer, so instrumentation must never be observable in the
+// output.
+func assertAnalyzedTransparent(t *testing.T, db *perm.Database, query string) string {
+	t.Helper()
+	plain, err := db.Query(query)
+	if err != nil {
+		t.Fatalf("plain run of %q: %v", query, err)
+	}
+	analyzed, report, err := db.QueryAnalyzed(query)
+	if err != nil {
+		t.Fatalf("analyzed run of %q: %v", query, err)
+	}
+	if fmt.Sprint(plain.Columns) != fmt.Sprint(analyzed.Columns) {
+		t.Fatalf("columns diverge under ANALYZE for %q", query)
+	}
+	if len(plain.Rows) != len(analyzed.Rows) {
+		t.Fatalf("row count diverges under ANALYZE for %q: plain=%d analyzed=%d",
+			query, len(plain.Rows), len(analyzed.Rows))
+	}
+	for i := range plain.Rows {
+		for j := range plain.Rows[i] {
+			va, vb := plain.Rows[i][j], analyzed.Rows[i][j]
+			if va.String() != vb.String() || va.IsNull() != vb.IsNull() {
+				t.Fatalf("row %d col %d diverges under ANALYZE for %q: plain=%v analyzed=%v",
+					i, j, query, va, vb)
+			}
+		}
+	}
+	return report
+}
+
+// TestExplainAnalyzeBasics pins the report surface on a small plan:
+// every operator line carries an (actual ...) annotation with its row
+// count, the footer reports total time and the query fingerprint, and
+// the SQL-dialect form returns the same report shape.
+func TestExplainAnalyzeBasics(t *testing.T) {
+	db := perm.NewDatabase()
+	db.MustExec(`CREATE TABLE shop (name text, numempl int)`)
+	db.MustExec(`INSERT INTO shop VALUES ('Merdies', 3), ('SatMarkt', 15), ('EDampf', 1)`)
+
+	report := assertAnalyzedTransparent(t, db, `SELECT name FROM shop WHERE numempl > 2 ORDER BY name`)
+	for _, want := range []string{"(actual ", "rows=2", "time=", "Execution time: ", "Fingerprint: "} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report lacks %q:\n%s", want, report)
+		}
+	}
+	// The fingerprint folds literals: the same shape with a different
+	// constant must report the same fingerprint line.
+	other, err := db.ExplainAnalyzeSQL(`SELECT name FROM shop WHERE numempl > 999 ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpLine := func(s string) string {
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "Fingerprint: ") {
+				return l
+			}
+		}
+		return ""
+	}
+	if fp := fpLine(report); fp == "" || fp != fpLine(other) {
+		t.Fatalf("fingerprint not literal-invariant: %q vs %q", fpLine(report), fpLine(other))
+	}
+
+	// The SQL dialect: EXPLAIN ANALYZE <select> through Query returns the
+	// report as rows under a "plan" column.
+	res, err := db.Query(`EXPLAIN ANALYZE SELECT name FROM shop WHERE numempl > 2 ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "plan" {
+		t.Fatalf("EXPLAIN ANALYZE columns = %v", res.Columns)
+	}
+	var joined strings.Builder
+	for _, row := range res.Rows {
+		joined.WriteString(row[0].String())
+		joined.WriteString("\n")
+	}
+	for _, want := range []string{"(actual ", "Execution time: ", "Fingerprint: "} {
+		if !strings.Contains(joined.String(), want) {
+			t.Fatalf("dialect report lacks %q:\n%s", want, joined.String())
+		}
+	}
+	// EXPLAIN without ANALYZE must stay annotation-free.
+	plain, err := db.ExplainSQL(`SELECT name FROM shop WHERE numempl > 2 ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, "actual") {
+		t.Fatalf("plain EXPLAIN grew annotations:\n%s", plain)
+	}
+}
+
+// TestExplainAnalyzeAcceptance is the PR's acceptance scenario: TPC-H
+// Q15 with provenance under a 4 MiB budget and 2 workers must report
+// nonzero per-operator timings, spill events on the spilling operator,
+// and per-worker morsel counts — while the result stays byte-identical
+// to the uninstrumented run.
+func TestExplainAnalyzeAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TPC-H EXPLAIN ANALYZE acceptance skipped with -short")
+	}
+	db := perm.NewDatabaseWithOptions(perm.Options{
+		Parallelism: 2, MemoryLimit: 4 << 20, SpillDir: t.TempDir(),
+	})
+	tpch.MustLoad(db, 0.002, 42)
+	rng := tpch.NewRand(7)
+	q := tpch.MustQGen(15, rng)
+	for _, s := range q.Setup {
+		db.MustExec(s)
+	}
+	defer func() {
+		for _, s := range q.Teardown {
+			db.MustExec(s)
+		}
+	}()
+	report := assertAnalyzedTransparent(t, db, q.Provenance().Text)
+	if !strings.Contains(report, "time=") || strings.Contains(report, "time=0s ") {
+		t.Fatalf("report lacks nonzero operator timings:\n%s", report)
+	}
+	if !strings.Contains(report, "workers=2") || !strings.Contains(report, "morsels/worker=[") {
+		t.Fatalf("report lacks per-worker morsel counts:\n%s", report)
+	}
+	if !strings.Contains(report, "spills=") {
+		t.Fatalf("report lacks spill events under the 4 MiB budget:\n%s", report)
+	}
+	if st := db.SessionQueryStats(); st.MemoryInUse != 0 {
+		t.Fatalf("analyzed run leaked reservations: %d bytes", st.MemoryInUse)
+	}
+}
+
+// TestExplainAnalyzeTransparencyFig10 runs the Fig. 10 TPC-H workload —
+// normal and provenance-rewritten — under ANALYZE instrumentation in
+// every execution regime (serial, 4 workers; unlimited, 4 MiB budget)
+// and requires byte-identical results throughout.
+func TestExplainAnalyzeTransparencyFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TPC-H EXPLAIN ANALYZE transparency skipped with -short")
+	}
+	const sf = 0.002
+	regimes := []struct {
+		name    string
+		workers int
+		limit   int64
+	}{
+		{"serial", 1, -1},
+		{"serial-4MiB", 1, 4 << 20},
+		{"workers=4", 4, -1},
+		{"workers=4-4MiB", 4, 4 << 20},
+	}
+	for _, rg := range regimes {
+		t.Run(rg.name, func(t *testing.T) {
+			db := perm.NewDatabaseWithOptions(perm.Options{
+				Parallelism: rg.workers, MemoryLimit: rg.limit, SpillDir: t.TempDir(),
+			})
+			tpch.MustLoad(db, sf, 42)
+			rng := tpch.NewRand(7)
+			for _, n := range []int{1, 3, 10, 15} {
+				q := tpch.MustQGen(n, rng)
+				for _, s := range q.Setup {
+					db.MustExec(s)
+				}
+				assertAnalyzedTransparent(t, db, q.Text)
+				assertAnalyzedTransparent(t, db, q.Provenance().Text)
+				for _, s := range q.Teardown {
+					db.MustExec(s)
+				}
+			}
+			if st := db.SessionQueryStats(); st.MemoryInUse != 0 {
+				t.Fatalf("analyzed runs leaked reservations: %d bytes", st.MemoryInUse)
+			}
+		})
+	}
+}
+
+// mediumTable builds a ~16k-row table: big enough that a 64 KiB budget
+// forces spilling, small enough for the -race concurrency test.
+func mediumTable(db *perm.Database) {
+	db.MustExec(`CREATE TABLE med (a int, b int, s text)`)
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO med VALUES `)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, 'val-%d')", i, i%7, i%13)
+	}
+	db.MustExec(sb.String())
+	for i := 0; i < 8; i++ { // 64 × 2^8 = 16384 rows
+		db.MustExec(fmt.Sprintf(`INSERT INTO med SELECT a + %d, b, s FROM med`, 64<<i))
+	}
+}
+
+// TestMetricsConcurrentSessions drives 8 concurrent sessions through
+// cache churn (repeated hits, DML invalidations) and forced spill (64
+// KiB budgets) and asserts the engine counters account for all of it:
+// the session gauges return exactly to their baseline, and the grant/
+// denial/spill/cache counters all moved. Run under -race this also
+// verifies every counter hot path is data-race-free.
+func TestMetricsConcurrentSessions(t *testing.T) {
+	base := perm.NewDatabaseWithOptions(perm.Options{
+		MemoryLimit: 64 << 10, SpillDir: t.TempDir(),
+	})
+	mediumTable(base)
+
+	sessionsBefore := obs.SessionsActive.Load()
+	preparedBefore := obs.PreparedStatements.Load()
+	grantsBefore := obs.MemGrants.Load()
+	denialsBefore := obs.MemDenials.Load()
+	cacheBefore := base.QueryCacheStats()
+
+	const numSessions = 8
+	var wg sync.WaitGroup
+	for i := 0; i < numSessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := session.New(base)
+			defer s.Close()
+			if err := s.Prepare("p", `SELECT count(*) FROM med`); err != nil {
+				t.Error(err)
+				return
+			}
+			for round := 0; round < 3; round++ {
+				// Shared statement: first compiler wins, everyone else hits.
+				if _, err := s.Query(`SELECT a % 4096, count(*), sum(b) FROM med GROUP BY a % 4096`); err != nil {
+					t.Error(err)
+					return
+				}
+				// Spill-forcing sort under the 64 KiB session budget.
+				if _, err := s.Query(`SELECT a, b, s FROM med ORDER BY b, s LIMIT 5`); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Execute("p"); err != nil {
+					t.Error(err)
+					return
+				}
+				// One session churns the catalog version, invalidating
+				// every cached artifact.
+				if id == 0 {
+					if _, err := s.Exec(fmt.Sprintf(`INSERT INTO med VALUES (%d, 0, 'churn')`, 1<<20+round)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := obs.SessionsActive.Load(); got != sessionsBefore {
+		t.Fatalf("SessionsActive gauge did not return to baseline: %d != %d", got, sessionsBefore)
+	}
+	if got := obs.PreparedStatements.Load(); got != preparedBefore {
+		t.Fatalf("PreparedStatements gauge did not return to baseline: %d != %d", got, preparedBefore)
+	}
+	if d := obs.MemGrants.Load() - grantsBefore; d <= 0 {
+		t.Fatalf("no memory grants recorded (delta %d)", d)
+	}
+	if d := obs.MemDenials.Load() - denialsBefore; d <= 0 {
+		t.Fatalf("no memory denials recorded under a 64 KiB budget (delta %d)", d)
+	}
+	st := base.QueryStats()
+	if st.SpillEvents == 0 || st.BytesSpilled == 0 {
+		t.Fatalf("64 KiB sessions never spilled: %+v", st)
+	}
+	cache := base.QueryCacheStats()
+	if cache.Hits <= cacheBefore.Hits {
+		t.Fatalf("no cache hits across %d sessions: %+v", numSessions, cache)
+	}
+	if cache.Misses <= cacheBefore.Misses {
+		t.Fatalf("no cache misses recorded: %+v", cache)
+	}
+	if cache.Invalidations <= cacheBefore.Invalidations {
+		t.Fatalf("DML churn produced no invalidations: %+v", cache)
+	}
+
+	// The registry must expose all engine families over this state.
+	var sb strings.Builder
+	if err := base.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"perm_qcache_lookups_total", "perm_qcache_entries",
+		"perm_mem_reserved_bytes", "perm_mem_spilled_bytes_total", "perm_mem_grants_total",
+		"perm_parallel_morsels_total", "perm_parallel_serial_fallbacks_total",
+		"perm_sessions_active", "perm_prepared_statements", "perm_catalog_version",
+	} {
+		if !strings.Contains(sb.String(), "# TYPE "+fam+" ") {
+			t.Fatalf("metrics exposition lacks family %s:\n%s", fam, sb.String())
+		}
+	}
+}
+
+// TestQueryCached pins the non-counting cache probe the slow-query log
+// relies on.
+func TestQueryCached(t *testing.T) {
+	db := perm.NewDatabase()
+	db.MustExec(`CREATE TABLE t (a int)`)
+	db.MustExec(`INSERT INTO t VALUES (1), (2)`)
+	const q = `SELECT a FROM t ORDER BY a`
+	if db.QueryCached(q) {
+		t.Fatal("query cached before first compile")
+	}
+	before := db.QueryCacheStats()
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if !db.QueryCached(q) {
+		t.Fatal("query not cached after compile")
+	}
+	after := db.QueryCacheStats()
+	if after.Hits != before.Hits || after.Misses != before.Misses+1 {
+		t.Fatalf("unexpected counter movement: before=%+v after=%+v", before, after)
+	}
+	// The probe itself must not move the counters.
+	if got := db.QueryCacheStats(); got != after {
+		t.Fatalf("QueryCached moved the counters: %+v -> %+v", after, got)
+	}
+	db.MustExec(`INSERT INTO t VALUES (3)`) // version bump invalidates
+	if db.QueryCached(q) {
+		t.Fatal("stale artifact still reported as cached after DML")
+	}
+}

@@ -763,6 +763,20 @@ func (db *Database) run(stmt sql.Statement, text string) (int, *Result, error) {
 				return 0, nil, rerr
 			}
 			out = deparse.Query(q)
+		} else if s.Analyze {
+			// Strip the EXPLAIN ANALYZE prefix so the analyzed query hits
+			// (and fills) the same cache slot and fingerprint the bare
+			// SELECT would; a multi-statement text is left uncached.
+			qtext := stripExplainPrefix(text)
+			fpText := qtext
+			if qtext == text || strings.ContainsRune(qtext, ';') {
+				qtext = ""
+			}
+			_, report, aerr := db.analyzeSelect(s.Query, qtext, fpText)
+			if aerr != nil {
+				return 0, nil, aerr
+			}
+			out = report
 		} else {
 			q, rerr := db.analyzeAndRewrite(s.Query)
 			if rerr != nil {

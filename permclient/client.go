@@ -124,6 +124,16 @@ func (c *Client) Explain(sql string) (string, error) {
 	return resp.Plan, nil
 }
 
+// ExplainAnalyze executes a query on the server under instrumentation
+// and returns the plan annotated with per-operator runtime statistics.
+func (c *Client) ExplainAnalyze(sql string) (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpExplainAnalyze, SQL: sql})
+	if err != nil {
+		return "", err
+	}
+	return resp.Plan, nil
+}
+
 // Set changes one session option (see session.SetOption for names).
 func (c *Client) Set(option, value string) error {
 	_, err := c.roundTrip(&wire.Request{Op: wire.OpSet, Name: option, SQL: value})
