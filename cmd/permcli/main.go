@@ -48,6 +48,7 @@ func main() {
 		memLimit = flag.String("memory-limit", "", "session memory budget, e.g. 64MiB (materializing operators spill to disk past it)")
 		spillDir = flag.String("spill-dir", "", "directory for spill files (default $PERM_SPILL_DIR or the system temp dir)")
 		paraN    = flag.Int("parallelism", 0, "intra-query worker count (0 = $PERM_PARALLELISM or all cores, 1 = serial)")
+		traceN   = flag.Int("trace-sample", 0, "record a lifecycle trace for every Nth query into perm_traces (0 = $PERM_TRACE_SAMPLE or off, negative = off)")
 		timing   = flag.Bool("timing", true, "print execution times")
 	)
 	flag.Parse()
@@ -92,6 +93,16 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *traceN != 0 {
+			v := strconv.Itoa(*traceN)
+			if *traceN < 0 {
+				v = "off"
+			}
+			if err := client.Set("trace_sample", v); err != nil {
+				fmt.Fprintf(os.Stderr, "SET trace_sample: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *spillDir != "" {
 			fmt.Fprintln(os.Stderr, "-spill-dir applies to the embedded engine; start permd with -spill-dir instead")
 		}
@@ -117,6 +128,7 @@ func main() {
 			MemoryLimit:       limit,
 			SpillDir:          *spillDir,
 			Parallelism:       *paraN,
+			TraceSample:       *traceN,
 		})
 		if *loadSF > 0 {
 			fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)

@@ -78,6 +78,7 @@ func main() {
 		totalMem = flag.String("total-memory", "", "engine-wide memory cap across all sessions, e.g. 1GiB (default unlimited)")
 		spillDir = flag.String("spill-dir", "", "directory for spill files (default $PERM_SPILL_DIR or the system temp dir)")
 		paraN    = flag.Int("parallelism", 0, "intra-query worker count (0 = $PERM_PARALLELISM or all cores, 1 = serial)")
+		traceN   = flag.Int("trace-sample", 0, "record a lifecycle trace for every Nth query into perm_traces (0 = $PERM_TRACE_SAMPLE or off, negative = off)")
 		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address (empty = disabled)")
 		slowMS   = flag.Int("slow-query-ms", -1, "log statements slower than this many milliseconds as JSON lines on stderr (0 = every statement, negative = disabled)")
@@ -108,6 +109,7 @@ func main() {
 		MemoryLimit:       sessionLimit,
 		SpillDir:          *spillDir,
 		Parallelism:       *paraN,
+		TraceSample:       *traceN,
 	})
 	if *totalMem != "" {
 		n, err := mem.ParseSize(*totalMem)

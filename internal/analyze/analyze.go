@@ -695,6 +695,25 @@ func (a *Analyzer) resolveTableName(n *sql.TableName, sc *scope) (*algebra.RTE, 
 		}
 		return rte, nil
 	}
+	if v, ok := a.cat.Virtual(n.Name); ok {
+		// Virtual system table: resolves exactly like a base relation;
+		// the planner substitutes the generated rows at scan time.
+		cols := make(algebra.Schema, len(v.Cols))
+		for i, c := range v.Cols {
+			cols[i] = algebra.Column{Name: c.Name, Type: c.Type}
+		}
+		rte := &algebra.RTE{
+			Kind:         algebra.RTERelation,
+			RelName:      n.Name,
+			Alias:        alias,
+			Cols:         cols,
+			BaseRelation: n.BaseRelation,
+		}
+		if err := applyProvAttrs(rte, n.ProvAttrs); err != nil {
+			return nil, err
+		}
+		return rte, nil
+	}
 	return nil, fmt.Errorf("relation %q does not exist", n.Name)
 }
 

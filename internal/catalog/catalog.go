@@ -62,6 +62,7 @@ type Catalog struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	views   map[string]*View
+	virtual map[string]*VirtualTable
 }
 
 // Version returns the current catalog version. It is safe to call
@@ -97,6 +98,9 @@ func (c *Catalog) CreateTable(name string, cols []Column, ifNotExists bool) (*Ta
 	if _, ok := c.views[name]; ok {
 		return nil, fmt.Errorf("view %q already exists", name)
 	}
+	if _, ok := c.virtual[name]; ok {
+		return nil, fmt.Errorf("%q is a system table", name)
+	}
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("table %q must have at least one column", name)
 	}
@@ -122,6 +126,9 @@ func (c *Catalog) CreateView(name string, q *sql.SelectStmt, text string, orRepl
 	}
 	if _, ok := c.views[name]; ok && !orReplace {
 		return fmt.Errorf("view %q already exists", name)
+	}
+	if _, ok := c.virtual[name]; ok {
+		return fmt.Errorf("%q is a system table", name)
 	}
 	c.views[name] = &View{Name: name, Query: q, Text: text}
 	c.version.Add(1)

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"perm/internal/eval"
+	"perm/internal/obs"
 	"perm/internal/spill"
 	"perm/internal/types"
 )
@@ -47,16 +48,34 @@ func Collect(n Node) ([]types.Row, error) {
 type Scan struct {
 	Rows []types.Row
 	pos  int
+
+	// aq, when set, is polled for cooperative cancellation once per
+	// cancelStride rows — the row engine's equivalent of a batch
+	// boundary.
+	aq *obs.ActiveQuery
 }
+
+// cancelStride is how many rows a Scan emits between cancellation
+// polls; matches the vectorized engine's batch granularity.
+const cancelStride = 1024
 
 // NewScan returns a scan over rows.
 func NewScan(rows []types.Row) *Scan { return &Scan{Rows: rows} }
+
+// SetActivity attaches the active-query record whose cancellation flag
+// the scan polls (nil: never cancelled).
+func (s *Scan) SetActivity(aq *obs.ActiveQuery) { s.aq = aq }
 
 func (s *Scan) Open() error { s.pos = 0; return nil }
 
 func (s *Scan) Next() (types.Row, error) {
 	if s.pos >= len(s.Rows) {
 		return nil, nil
+	}
+	if s.aq != nil && s.pos%cancelStride == 0 {
+		if err := s.aq.CancelErr(); err != nil {
+			return nil, err
+		}
 	}
 	r := s.Rows[s.pos]
 	s.pos++

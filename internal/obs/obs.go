@@ -87,6 +87,41 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the cumulative
+// buckets by linear interpolation within the bucket the rank falls into,
+// the same estimate Prometheus' histogram_quantile computes. Returns 0
+// with no observations; the top (+Inf) bucket is approximated by its
+// lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		n := h.buckets[i].Load()
+		if float64(cum+n) >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(h.bounds[i-1])
+			}
+			if n == 0 {
+				return float64(b)
+			}
+			return lo + (float64(b)-lo)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
 // ---------------------------------------------------------------------------
 // Process-global engine counters
 //
@@ -187,6 +222,7 @@ type Registry struct {
 	mu    sync.Mutex
 	fams  []*family
 	index map[string]*family
+	raw   []func(io.Writer) error
 }
 
 // NewRegistry returns an empty registry.
@@ -234,6 +270,49 @@ func (r *Registry) HistogramVar(name, help string, h *Histogram, scale float64) 
 	r.add(name, help, TypeHistogram, point{hist: h, scale: scale})
 }
 
+// RawCollector registers a function that writes pre-rendered exposition
+// text (its own # HELP/# TYPE headers included) after the registered
+// families. Dynamic-cardinality sources — like the per-fingerprint
+// statement histograms, whose label sets grow as the workload runs —
+// use this instead of registering a point per label value up front.
+func (r *Registry) RawCollector(fn func(io.Writer) error) {
+	r.mu.Lock()
+	r.raw = append(r.raw, fn)
+	r.mu.Unlock()
+}
+
+// Sample is one metric data point as exposed by Samples, the flattened
+// view the perm_metrics system table serves. Histograms flatten to their
+// _sum and _count series.
+type Sample struct {
+	Name   string
+	Labels string // rendered without braces, e.g. `event="hit"`
+	Value  float64
+}
+
+// Samples snapshots every registered family as flat (name, labels,
+// value) points.
+func (r *Registry) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	for _, f := range r.fams {
+		for _, p := range f.points {
+			if p.hist != nil {
+				scale := p.scale
+				if scale == 0 {
+					scale = 1
+				}
+				out = append(out, Sample{Name: f.name + "_sum", Value: float64(p.hist.Sum()) * scale})
+				out = append(out, Sample{Name: f.name + "_count", Value: float64(p.hist.Count())})
+				continue
+			}
+			out = append(out, Sample{Name: f.name, Labels: p.labels, Value: p.read()})
+		}
+	}
+	return out
+}
+
 // WritePrometheus renders every registered family in the Prometheus text
 // exposition format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -253,6 +332,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if err := writeSample(w, f.name, p.labels, p.read()); err != nil {
 				return err
 			}
+		}
+	}
+	for _, fn := range r.raw {
+		if err := fn(w); err != nil {
+			return err
 		}
 	}
 	return nil

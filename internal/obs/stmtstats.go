@@ -1,0 +1,182 @@
+// Per-fingerprint statement statistics — the data behind the
+// perm_stat_statements system table and the per-fingerprint latency
+// histograms on /metrics. Statements are keyed by their normalized-text
+// fingerprint (literals stripped), so every execution of the same query
+// shape accumulates into one row regardless of parameter values.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultStmtStatsCapacity bounds how many distinct fingerprints the
+// registry tracks before evicting the least-recently-executed one.
+const DefaultStmtStatsCapacity = 512
+
+// stmtLatencyBounds are the histogram bucket upper bounds for statement
+// latencies, in nanoseconds: 100µs .. 10s, roughly ×3 apart.
+var stmtLatencyBounds = []int64{
+	100_000, 300_000, 1_000_000, 3_000_000, 10_000_000,
+	30_000_000, 100_000_000, 300_000_000, 1_000_000_000,
+	3_000_000_000, 10_000_000_000,
+}
+
+// StmtStat is the accumulated profile of one statement fingerprint.
+// Fields are guarded by the owning StmtStats' mutex; Hist is internally
+// atomic and safe to read after a snapshot.
+type StmtStat struct {
+	Fingerprint string
+	Query       string // normalized statement text
+	Calls       int64
+	Errors      int64
+	Rows        int64
+	TotalNS     int64
+	MaxNS       int64
+	Hist        *Histogram
+
+	lastUsed int64 // monotonic use tick, for LRU eviction
+}
+
+// MeanNS returns the mean latency in nanoseconds.
+func (s *StmtStat) MeanNS() int64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.TotalNS / s.Calls
+}
+
+// StmtStats aggregates per-fingerprint execution statistics. One update
+// per statement (never per row), so a plain mutex around a map is cheap
+// relative to the statement it accounts.
+type StmtStats struct {
+	mu   sync.Mutex
+	m    map[string]*StmtStat
+	cap  int
+	tick int64
+}
+
+// NewStmtStats returns a registry tracking up to capacity fingerprints
+// (<= 0: DefaultStmtStatsCapacity).
+func NewStmtStats(capacity int) *StmtStats {
+	if capacity <= 0 {
+		capacity = DefaultStmtStatsCapacity
+	}
+	return &StmtStats{m: make(map[string]*StmtStat, 64), cap: capacity}
+}
+
+// Observe records one execution of the statement with the given
+// fingerprint and normalized text.
+func (s *StmtStats) Observe(fingerprint, normalized string, dur time.Duration, rows int64, failed bool) {
+	ns := dur.Nanoseconds()
+	s.mu.Lock()
+	st, ok := s.m[fingerprint]
+	if !ok {
+		if len(s.m) >= s.cap {
+			s.evictLocked()
+		}
+		st = &StmtStat{
+			Fingerprint: fingerprint,
+			Query:       normalized,
+			Hist:        NewHistogram(stmtLatencyBounds...),
+		}
+		s.m[fingerprint] = st
+	}
+	s.tick++
+	st.lastUsed = s.tick
+	st.Calls++
+	if failed {
+		st.Errors++
+	}
+	st.Rows += rows
+	st.TotalNS += ns
+	if ns > st.MaxNS {
+		st.MaxNS = ns
+	}
+	st.Hist.Observe(ns)
+	s.mu.Unlock()
+}
+
+// evictLocked drops the least-recently-executed fingerprint. A linear
+// scan over at most cap entries, and only on the (rare) insert that
+// crosses the cap — not worth an ordered index.
+func (s *StmtStats) evictLocked() {
+	var victim string
+	var oldest int64 = -1
+	for fp, st := range s.m {
+		if oldest < 0 || st.lastUsed < oldest {
+			oldest = st.lastUsed
+			victim = fp
+		}
+	}
+	if victim != "" {
+		delete(s.m, victim)
+	}
+}
+
+// Len reports how many fingerprints are tracked.
+func (s *StmtStats) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Snapshot returns copies of every tracked statement, most-called first
+// (ties broken by fingerprint for stable output). The Hist pointer is
+// shared — histograms are internally atomic and append-only.
+func (s *StmtStats) Snapshot() []StmtStat {
+	s.mu.Lock()
+	out := make([]StmtStat, 0, len(s.m))
+	for _, st := range s.m {
+		out = append(out, *st)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Calls != out[j].Calls {
+			return out[i].Calls > out[j].Calls
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// WritePrometheus renders the per-fingerprint latency histograms as the
+// perm_stmt_seconds family, one label set per fingerprint. Registered as
+// a Registry.RawCollector because the label cardinality grows with the
+// workload.
+func (s *StmtStats) WritePrometheus(w io.Writer) error {
+	snap := s.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprint(w, "# HELP perm_stmt_seconds Statement latency by fingerprint.\n# TYPE perm_stmt_seconds histogram\n"); err != nil {
+		return err
+	}
+	for i := range snap {
+		st := &snap[i]
+		h := st.Hist
+		cum := int64(0)
+		for bi, b := range h.bounds {
+			cum += h.buckets[bi].Load()
+			if _, err := fmt.Fprintf(w, "perm_stmt_seconds_bucket{fingerprint=%q,le=%q} %d\n",
+				st.Fingerprint, formatFloat(float64(b)/1e9), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "perm_stmt_seconds_bucket{fingerprint=%q,le=\"+Inf\"} %d\n", st.Fingerprint, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "perm_stmt_seconds_sum{fingerprint=%q} %s\n",
+			st.Fingerprint, formatFloat(float64(h.Sum())*1e-9)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "perm_stmt_seconds_count{fingerprint=%q} %d\n", st.Fingerprint, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -96,13 +96,164 @@ func instrumentVNode(n vexec.Node) vexec.Node {
 }
 
 // ExplainAnalyzed renders an instrumented tree after execution: the
-// EXPLAIN plan with per-operator runtime annotations, followed by the
-// total execution time.
-func ExplainAnalyzed(n exec.Node, total time.Duration) string {
+// EXPLAIN plan with per-operator runtime annotations, followed by a
+// plan-total summary line (wall time, peak memory reservation, spilled
+// bytes) so operators need not sum the per-operator rows by hand.
+func ExplainAnalyzed(n exec.Node, total time.Duration, peakMem, spilled int64) string {
 	var sb []byte
 	analyzeNode(n, 0, &sb)
-	sb = append(sb, fmt.Sprintf("Execution time: %s\n", fmtDur(total.Nanoseconds()))...)
+	sb = append(sb, fmt.Sprintf("Execution time: %s (peak memory %dB, spilled %dB)\n",
+		fmtDur(total.Nanoseconds()), peakMem, spilled)...)
 	return string(sb)
+}
+
+// OperatorSpans harvests the probe measurements of an instrumented tree
+// as trace spans, one per probed operator in plan (pre-order) position,
+// nested one level below the execute phase span. Start offsets are not
+// knowable from cumulative probe counters, so spans carry durations
+// only.
+func OperatorSpans(n exec.Node) []obs.Span {
+	var spans []obs.Span
+	opSpans(n, 1, &spans)
+	return spans
+}
+
+func opSpans(n exec.Node, depth int, out *[]obs.Span) {
+	var st *obs.OpStats
+	if p, ok := n.(*exec.Probe); ok {
+		st, n = p.Stats, p.Input
+	}
+	if st != nil {
+		*out = append(*out, obs.Span{Name: opName(n), Depth: depth, DurNS: st.TotalNS(), Rows: st.Rows})
+	}
+	switch x := n.(type) {
+	case *exec.Filter:
+		opSpans(x.Input, depth+1, out)
+	case *exec.Project:
+		opSpans(x.Input, depth+1, out)
+	case *exec.NestedLoopJoin:
+		opSpans(x.Left, depth+1, out)
+		opSpans(x.Right, depth+1, out)
+	case *exec.HashJoin:
+		opSpans(x.Left, depth+1, out)
+		opSpans(x.Right, depth+1, out)
+	case *exec.HashAgg:
+		opSpans(x.Input, depth+1, out)
+	case *exec.Sort:
+		opSpans(x.Input, depth+1, out)
+	case *exec.Limit:
+		opSpans(x.Input, depth+1, out)
+	case *exec.Distinct:
+		opSpans(x.Input, depth+1, out)
+	case *exec.SetOp:
+		opSpans(x.Left, depth+1, out)
+		opSpans(x.Right, depth+1, out)
+	case *vexec.RowSource:
+		opSpansV(x.Input, depth+1, out)
+	}
+}
+
+func opSpansV(n vexec.Node, depth int, out *[]obs.Span) {
+	if t, ok := n.(*vexec.MorselTap); ok {
+		opSpansV(t.Input, depth, out)
+		return
+	}
+	var st *obs.OpStats
+	if p, ok := n.(*vexec.Probe); ok {
+		st, n = p.Stats, p.Input
+	}
+	if st != nil {
+		*out = append(*out, obs.Span{Name: opName(n), Depth: depth, DurNS: st.TotalNS(), Rows: st.Rows})
+	}
+	switch x := n.(type) {
+	case *vexec.Filter:
+		opSpansV(x.Input, depth+1, out)
+	case *vexec.Project:
+		opSpansV(x.Input, depth+1, out)
+	case *vexec.HashJoin:
+		opSpansV(x.Left, depth+1, out)
+		opSpansV(x.Right, depth+1, out)
+	case *vexec.NLJoin:
+		opSpansV(x.Left, depth+1, out)
+		opSpansV(x.Right, depth+1, out)
+	case *vexec.HashAgg:
+		opSpansV(x.Input, depth+1, out)
+	case *vexec.VecSort:
+		opSpansV(x.Input, depth+1, out)
+	case *vexec.VecTopN:
+		opSpansV(x.Input, depth+1, out)
+	case *vexec.VecLimit:
+		opSpansV(x.Input, depth+1, out)
+	case *vexec.VecDistinct:
+		opSpansV(x.Input, depth+1, out)
+	case *vexec.VecSetOp:
+		opSpansV(x.Left, depth+1, out)
+		opSpansV(x.Right, depth+1, out)
+	case *vexec.Exchange:
+		opSpansV(x.Workers[0].Input, depth+1, out)
+	case *vexec.ParallelAgg:
+		opSpansV(x.Workers[0].Input, depth+1, out)
+	case *vexec.ParallelSort:
+		opSpansV(x.Workers[0].Input, depth+1, out)
+	}
+}
+
+// opName returns the operator's EXPLAIN label stem for trace spans.
+func opName(n interface{}) string {
+	switch n.(type) {
+	case *exec.Scan:
+		return "Scan"
+	case *exec.Filter:
+		return "Filter"
+	case *exec.Project:
+		return "Project"
+	case *exec.NestedLoopJoin:
+		return "NestedLoopJoin"
+	case *exec.HashJoin:
+		return "HashJoin"
+	case *exec.HashAgg:
+		return "HashAggregate"
+	case *exec.Sort:
+		return "Sort"
+	case *exec.Limit:
+		return "Limit"
+	case *exec.Distinct:
+		return "Distinct"
+	case *exec.SetOp:
+		return "SetOp"
+	case *vexec.RowSource:
+		return "BatchToRow"
+	case *vexec.ColScan:
+		return "VecScan"
+	case *vexec.Filter:
+		return "VecFilter"
+	case *vexec.Project:
+		return "VecProject"
+	case *vexec.HashJoin:
+		return "VecHashJoin"
+	case *vexec.NLJoin:
+		return "VecNestedLoopJoin"
+	case *vexec.HashAgg:
+		return "VecHashAggregate"
+	case *vexec.VecSort:
+		return "VecSort"
+	case *vexec.VecTopN:
+		return "VecTopN"
+	case *vexec.VecLimit:
+		return "VecLimit"
+	case *vexec.VecDistinct:
+		return "VecDistinct"
+	case *vexec.VecSetOp:
+		return "VecSetOp"
+	case *vexec.Exchange:
+		return "Exchange"
+	case *vexec.ParallelAgg:
+		return "ParallelAgg"
+	case *vexec.ParallelSort:
+		return "ParallelSort"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
 }
 
 func analyzeNode(n exec.Node, depth int, out *[]byte) {

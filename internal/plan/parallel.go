@@ -82,6 +82,10 @@ func (p *Planner) parallelize(q *algebra.Query, pl *planned) {
 	obs.ParallelPlans.Inc()
 	obs.ParallelWorkers.Add(int64(len(sites)))
 	disp := vexec.NewMorsels(driver0.NumRows)
+	if p.activity != nil {
+		disp.AQ = p.activity
+		p.activity.SetMorselTotal(disp.Total())
+	}
 	var pn vexec.Node
 	switch kind {
 	case siteExchange:

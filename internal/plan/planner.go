@@ -15,8 +15,10 @@ import (
 	"perm/internal/eval"
 	"perm/internal/exec"
 	"perm/internal/mem"
+	"perm/internal/obs"
 	"perm/internal/spill"
 	"perm/internal/types"
+	"perm/internal/vector"
 	"perm/internal/vexec"
 )
 
@@ -27,6 +29,7 @@ type Planner struct {
 	budget      *mem.Budget
 	spillDir    string
 	parallelism int
+	activity    *obs.ActiveQuery
 }
 
 // New returns a planner with the vectorized lowering path enabled.
@@ -46,6 +49,15 @@ func (p *Planner) SetVectorized(on bool) *Planner {
 func (p *Planner) SetResources(budget *mem.Budget, dir string) *Planner {
 	p.budget = budget
 	p.spillDir = dir
+	return p
+}
+
+// SetActivity attaches the running query's active-query record: every
+// scan the planner builds polls it for cooperative cancellation, and
+// parallel segments report morsel progress to it. nil (the default)
+// plans an uncancellable tree — EXPLAIN and tests use that.
+func (p *Planner) SetActivity(aq *obs.ActiveQuery) *Planner {
+	p.activity = aq
 	return p
 }
 
@@ -910,7 +922,9 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 			if jt == exec.LeftJoin {
 				vjt = vexec.LeftJoin
 			}
-			p.setVNode(combined, vexec.NewNLJoin(left.vnode, right.vnode, vcond, vjt, left.kinds, right.kinds))
+			nlj := vexec.NewNLJoin(left.vnode, right.vnode, vcond, vjt, left.kinds, right.kinds)
+			nlj.SetActivity(p.activity)
+			p.setVNode(combined, nlj)
 			combined.est = left.est * right.est
 			if cond != nil {
 				combined.est = combined.est*0.3 + 1
@@ -1177,6 +1191,7 @@ func (p *Planner) tryVecHashJoin(left, right *planned, leftKeyExprs, rightKeyExp
 		vjt = vexec.LeftJoin
 	}
 	vj := vexec.NewHashJoin(left.vnode, right.vnode, lk, rk, nullSafe, vjt, left.kinds, right.kinds)
+	vj.SetActivity(p.activity)
 	vj.Spill = p.spillRes("hashjoin")
 	if vjt == vexec.InnerJoin && left.cols != nil {
 		// Left-join probe rows must survive to null-extend, so only inner
@@ -1433,6 +1448,9 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 	case algebra.RTERelation:
 		t, ok := p.cat.Table(rte.RelName)
 		if !ok {
+			if v, vok := p.cat.Virtual(rte.RelName); vok {
+				return p.planVirtual(rt, rte, v)
+			}
 			return nil, fmt.Errorf("plan: table %q disappeared", rte.RelName)
 		}
 		kinds := rte.Cols.Kinds()
@@ -1452,25 +1470,33 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 			if cols, n, ok := t.Heap.SnapshotColumns(kinds); ok {
 				heap := t.Heap
 				scan := vexec.NewColScan(cols, n)
+				scan.SetActivity(p.activity)
 				infos := mkCols()
 				for i := range infos {
 					infos[i].scan, infos[i].scanCol = scan, i
 				}
+				aq := p.activity
 				pl := &planned{
-					layout:  map[int]int{rt: 0},
-					kinds:   kinds,
-					cols:    infos,
-					rts:     map[int]bool{rt: true},
-					est:     float64(n) + 1,
-					rowScan: func() exec.Node { return exec.NewScan(heap.Snapshot()) },
+					layout: map[int]int{rt: 0},
+					kinds:  kinds,
+					cols:   infos,
+					rts:    map[int]bool{rt: true},
+					est:    float64(n) + 1,
+					rowScan: func() exec.Node {
+						rs := exec.NewScan(heap.Snapshot())
+						rs.SetActivity(aq)
+						return rs
+					},
 				}
 				p.setVNode(pl, scan)
 				return pl, nil
 			}
 		}
 		rows := t.Heap.Snapshot()
+		rs := exec.NewScan(rows)
+		rs.SetActivity(p.activity)
 		return &planned{
-			node:   exec.NewScan(rows),
+			node:   rs,
 			layout: map[int]int{rt: 0},
 			kinds:  kinds,
 			cols:   mkCols(),
@@ -1527,6 +1553,39 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 	default:
 		return nil, fmt.Errorf("plan: unknown RTE kind %d", rte.Kind)
 	}
+}
+
+// planVirtual scans a virtual system table: the row generator runs now
+// (planning happens per execution, so every query sees a fresh
+// snapshot), and the rows lower to a columnar scan when the vectorized
+// engine can represent them, a row scan otherwise.
+func (p *Planner) planVirtual(rt int, rte *algebra.RTE, v *catalog.VirtualTable) (*planned, error) {
+	rows := v.Rows()
+	kinds := rte.Cols.Kinds()
+	pl := &planned{
+		layout: map[int]int{rt: 0},
+		kinds:  kinds,
+		rts:    map[int]bool{rt: true},
+		est:    float64(len(rows)) + 1,
+	}
+	if p.vectorized {
+		if cols, ok := vector.FromRows(rows, kinds); ok {
+			scan := vexec.NewColScan(cols, len(rows))
+			scan.SetActivity(p.activity)
+			aq := p.activity
+			pl.rowScan = func() exec.Node {
+				rs := exec.NewScan(rows)
+				rs.SetActivity(aq)
+				return rs
+			}
+			p.setVNode(pl, scan)
+			return pl, nil
+		}
+	}
+	rs := exec.NewScan(rows)
+	rs.SetActivity(p.activity)
+	pl.node = rs
+	return pl, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -102,10 +102,17 @@ func Normalize(text string) string {
 
 // Fingerprint returns a 16-hex-digit hash of Normalize(text): a stable
 // identity for a query shape, shared by the slow-query log, EXPLAIN
-// ANALYZE output and benchmark tooling.
+// ANALYZE output, the statement-statistics registry and benchmark
+// tooling.
 func Fingerprint(text string) string {
+	return FingerprintNormalized(Normalize(text))
+}
+
+// FingerprintNormalized hashes an already-normalized statement text
+// (callers that also need the normalized form avoid normalizing twice).
+func FingerprintNormalized(norm string) string {
 	h := fnv.New64a()
-	h.Write([]byte(Normalize(text))) //nolint:errcheck — fnv never fails
+	h.Write([]byte(norm)) //nolint:errcheck — fnv never fails
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

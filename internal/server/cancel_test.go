@@ -1,0 +1,189 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"perm"
+	"perm/permclient"
+)
+
+// bigDB builds a ~65k-row table by repeated self-insertion: a cross
+// join over it yields billions of pairs, far beyond what completes
+// before a cancel lands.
+func bigDB(t *testing.T, opts perm.Options) *perm.Database {
+	t.Helper()
+	db := perm.NewDatabaseWithOptions(opts)
+	db.MustExec(`CREATE TABLE big (a int, b int)`)
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO big VALUES `)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i%7)
+	}
+	db.MustExec(sb.String())
+	for i := 0; i < 10; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO big SELECT a + %d, b FROM big`, 64<<i))
+	}
+	return db
+}
+
+// TestCancelOverWire runs a multi-second query on one connection,
+// discovers its ID through perm_stat_activity on a second connection,
+// cancels it over the wire, and checks the issuer gets a clean error
+// while the server (and other sessions) keep working.
+func TestCancelOverWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running cancellation test")
+	}
+	db := bigDB(t, perm.Options{})
+	// workers=1: the long query occupies the only worker slot, so the
+	// cancel only lands because PING/CANCEL bypass the pool.
+	addr := startServer(t, db, 1)
+	runner := dial(t, addr)
+	admin := dial(t, addr)
+
+	const longQuery = `SELECT count(*) FROM big a, big b WHERE a.b + b.b > 1`
+	errc := make(chan error, 1)
+	go func() {
+		_, err := runner.Query(longQuery)
+		errc <- err
+	}()
+
+	deadline := time.Now().Add(20 * time.Second)
+	var id string
+	for id == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("long query never appeared in perm_stat_activity")
+		}
+		if err := admin.Ping(); err != nil { // liveness must bypass the saturated pool
+			t.Fatalf("ping during long query: %v", err)
+		}
+		res, err := db.Query(`SELECT query_id, query FROM perm_stat_activity WHERE phase = 'execute'`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row[1].String() == longQuery {
+				id = row[0].String()
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := admin.Cancel("q-does-not-exist"); err == nil {
+		t.Fatal("cancelling an unknown ID must fail")
+	}
+	if err := admin.Cancel(id); err != nil {
+		t.Fatalf("Cancel(%s): %v", id, err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "cancelled") {
+			t.Fatalf("cancelled query error = %v, want a cancellation error", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled query did not return")
+	}
+	// The worker slot is free again and the connection is intact.
+	res, err := runner.Query(`SELECT count(*) FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].String(); got != "65536" {
+		t.Fatalf("post-cancel query = %s, want 65536", got)
+	}
+}
+
+// TestSystemViewsOverWire: the introspection relations answer over the
+// wire protocol like any other table.
+func TestSystemViewsOverWire(t *testing.T) {
+	db := paperDB(t)
+	addr := startServer(t, db, 2)
+	c := dial(t, addr)
+	if _, err := c.Query(`SELECT name FROM shop`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(`SELECT query_id, phase, query FROM perm_stat_activity`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("perm_stat_activity over wire rows = %d, want 1 (the observer)", len(res.Rows))
+	}
+	res, err = c.Query(`SELECT calls FROM perm_stat_statements WHERE query = 'select name from shop'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "1" {
+		t.Fatalf("perm_stat_statements over wire: %v", res.Rows)
+	}
+	res, err = c.Query(`SELECT value FROM perm_metrics WHERE name = 'perm_build_info'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("perm_metrics over wire rows = %d, want 1", len(res.Rows))
+	}
+}
+
+// TestSlowLogQueryCorrelation: with tracing on, slow-log entries carry
+// the engine query ID and the phase span breakdown, correlating the log
+// with perm_traces.
+func TestSlowLogQueryCorrelation(t *testing.T) {
+	db := paperDB(t).WithOptions(perm.Options{TraceSample: 1})
+	srv := New(db, 2)
+	var buf syncBuffer
+	srv.SetSlowQueryLog(0, &buf)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		<-done
+	})
+	c := dial(t, ln.Addr().String())
+	if _, err := c.Query(`SELECT name FROM shop ORDER BY name`); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(strings.Split(strings.TrimSpace(buf.String()), "\n")[0])
+	var e slowEntry
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatalf("bad slow-log line %q: %v", line, err)
+	}
+	if !strings.HasPrefix(e.QueryID, "q") {
+		t.Fatalf("slow-log query_id = %q, want an engine query ID", e.QueryID)
+	}
+	for _, phase := range []string{"parse=", "execute="} {
+		if !strings.Contains(e.Spans, phase) {
+			t.Fatalf("slow-log spans = %q, want %s", e.Spans, phase)
+		}
+	}
+	// The logged ID resolves in perm_traces.
+	res, err := permclient.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close() //nolint:errcheck
+	tr, err := res.Query(fmt.Sprintf(`SELECT count(*) FROM perm_traces WHERE query_id = '%s'`, e.QueryID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Rows[0][0].String(); got == "0" {
+		t.Fatalf("query %s from the slow log has no trace", e.QueryID)
+	}
+}

@@ -237,7 +237,13 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		s.reqWg.Add(1)
 		s.mu.Unlock()
-		s.sem <- struct{}{} // acquire a worker slot
+		// PING and CANCEL never wait behind worker slots: a saturated
+		// server must still answer liveness checks, and cancellation of
+		// the very queries occupying the slots must be able to land.
+		outOfBand := req.Op == wire.OpPing || req.Op == wire.OpCancel
+		if !outOfBand {
+			s.sem <- struct{}{} // acquire a worker slot
+		}
 		slow := s.slow.Load()
 		var pre queryPrecondition
 		if slow != nil {
@@ -246,7 +252,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		start := time.Now()
 		resp := s.dispatch(sess, req)
 		dur := time.Since(start)
-		<-s.sem
+		if !outOfBand {
+			<-s.sem
+		}
 		s.reqsTotal.Inc()
 		s.reqDur.Observe(dur.Nanoseconds())
 		if resp.Err != "" {
@@ -279,6 +287,13 @@ func (s *Server) handleConn(conn net.Conn) {
 func (s *Server) dispatch(sess *session.Session, req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpPing:
+		return &wire.Response{OK: true}
+	case wire.OpCancel:
+		// Cancellation targets the engine-wide active-query registry, so
+		// any connection can cancel any session's query by ID.
+		if err := s.db.Cancel(req.Name); err != nil {
+			return wire.ErrorResponse(err)
+		}
 		return &wire.Response{OK: true}
 	case wire.OpQuery:
 		res, err := sess.Query(req.SQL)
@@ -357,6 +372,7 @@ func (s *Server) precondition(sess *session.Session, req *wire.Request) queryPre
 type slowEntry struct {
 	Time         string  `json:"ts"`
 	Op           string  `json:"op"`
+	QueryID      string  `json:"query_id,omitempty"` // engine query ID (join key for perm_traces)
 	Fingerprint  string  `json:"fingerprint,omitempty"`
 	DurationMS   float64 `json:"duration_ms"`
 	Rows         int     `json:"rows"`
@@ -364,6 +380,7 @@ type slowEntry struct {
 	SpilledBytes int64   `json:"spilled_bytes"`
 	SpillEvents  uint64  `json:"spill_events"`
 	Parallelism  int     `json:"parallelism"`
+	Spans        string  `json:"spans,omitempty"` // phase breakdown, when the query was trace-sampled
 	Err          string  `json:"err,omitempty"`
 }
 
@@ -386,6 +403,10 @@ func (s *Server) logSlow(sl *slowLog, sess *session.Session, req *wire.Request, 
 	}
 	if req.SQL != "" {
 		e.Fingerprint = qcache.Fingerprint(req.SQL)
+	}
+	if info := db.LastQueryInfo(); info.ID != "" {
+		e.QueryID = info.ID
+		e.Spans = info.Spans
 	}
 	if resp.Rows == nil {
 		e.Rows = resp.Affected

@@ -14,6 +14,8 @@
 //	SET <option> = on|off            session options (see SetOption)
 //	SET memory_limit = <size>        per-session memory budget (spill past it)
 //	SET parallelism = <n>            intra-query worker count (0 = all cores)
+//	SET trace_sample = <n>           trace every Nth query (off = none)
+//	CANCEL <query_id>                cancel an in-flight query (any session's)
 //
 // A session is safe for concurrent use, but is designed for one client:
 // the server gives every connection its own session.
@@ -39,10 +41,12 @@ type Session struct {
 	prepared map[string]*perm.Prepared
 	portals  map[string]*perm.Cursor
 	// baseMemLimit is the server-configured memory limit the session
-	// started with; SET memory_limit = 0 restores it. baseParallelism is
-	// the same for the intra-query worker count.
+	// started with; SET memory_limit = 0 restores it. baseParallelism and
+	// baseTraceSample are the same for the intra-query worker count and
+	// the trace sampling rate.
 	baseMemLimit    int64
 	baseParallelism int
+	baseTraceSample int
 }
 
 // New returns a session over the database (inheriting its options).
@@ -57,6 +61,7 @@ func New(db *perm.Database) *Session {
 		portals:         make(map[string]*perm.Cursor),
 		baseMemLimit:    db.Opts().MemoryLimit,
 		baseParallelism: db.Opts().Parallelism,
+		baseTraceSample: db.Opts().TraceSample,
 	}
 }
 
@@ -265,6 +270,23 @@ func (s *Session) SetOption(name, value string) error {
 			opts.Parallelism = n
 		}
 		return s.commitOptions(opts)
+	case "trace_sample":
+		v := strings.ToLower(strings.TrimSpace(value))
+		if v == "off" {
+			opts.TraceSample = -1
+		} else {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return fmt.Errorf("trace_sample must be a non-negative sampling rate or off, got %q", value)
+			}
+			if n == 0 {
+				// 0 restores the rate the server configured this session
+				// with (which may itself defer to PERM_TRACE_SAMPLE).
+				n = s.baseTraceSample
+			}
+			opts.TraceSample = n
+		}
+		return s.commitOptions(opts)
 	}
 	if strings.EqualFold(strings.TrimSpace(name), "memory_limit") {
 		n, err := mem.ParseSize(value)
@@ -292,7 +314,7 @@ func (s *Session) SetOption(name, value string) error {
 		case "disable_query_cache":
 			opts.DisableQueryCache = on
 		default:
-			return fmt.Errorf("unknown option %q (have flatten_setops, disable_optimizer, disable_vectorized, disable_query_cache, memory_limit, parallelism)", name)
+			return fmt.Errorf("unknown option %q (have flatten_setops, disable_optimizer, disable_vectorized, disable_query_cache, memory_limit, parallelism, trace_sample)", name)
 		}
 	}
 	return s.commitOptions(opts)
@@ -303,7 +325,9 @@ func (s *Session) SetOption(name, value string) error {
 // commits: a failure leaves both the options and the prepared statements
 // exactly as they were. Caller holds s.mu.
 func (s *Session) commitOptions(opts perm.Options) error {
-	db := s.db.WithOptions(opts)
+	// SameSession: a SET reconfigures this session, it does not create a
+	// new identity in perm_stat_activity.
+	db := s.db.WithOptionsSameSession(opts)
 	reprepared := make(map[string]*perm.Prepared, len(s.prepared))
 	for n, p := range s.prepared {
 		np, err := db.Prepare(p.Text())
@@ -393,6 +417,11 @@ func (s *Session) Run(text string) (*Outcome, error) {
 			return nil, err
 		}
 		return &Outcome{Result: res}, nil
+	case "CANCEL":
+		if _, err := s.Exec(stmt); err != nil {
+			return nil, err
+		}
+		return &Outcome{Tag: "CANCEL"}, nil
 	default:
 		if strings.HasPrefix(stmt, "(") {
 			res, err := s.Query(stmt)

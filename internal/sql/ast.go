@@ -215,6 +215,16 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmt() {}
 
+// CancelStmt is CANCEL <query_id>: request cooperative cancellation of
+// an in-flight query (any session's) by the ID shown in
+// perm_stat_activity. The ID may be written bare (CANCEL q12) or as a
+// string literal (CANCEL 'q12').
+type CancelStmt struct {
+	ID string
+}
+
+func (*CancelStmt) stmt() {}
+
 // ---------------------------------------------------------------------------
 // Expressions
 

@@ -67,7 +67,8 @@ var keywords = map[string]bool{
 	"PROVENANCE": true, "BASERELATION": true,
 	"PRIMARY": true, "KEY": true, "IF": true,
 	"EXPLAIN": true, "REWRITE": true, "ANALYZE": true, "DELETE": true, "UPDATE": true, "SET": true,
-	"NULLS": true, "FIRST": true, "LAST": true,
+	"CANCEL": true,
+	"NULLS":  true, "FIRST": true, "LAST": true,
 }
 
 // Lexer turns SQL text into tokens.

@@ -201,6 +201,8 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.isKeyword("EXPLAIN"):
 		return p.parseExplain()
+	case p.isKeyword("CANCEL"):
+		return p.parseCancel()
 	default:
 		return nil, p.errorf("expected a statement, found %s", p.tok)
 	}
@@ -226,6 +228,22 @@ func (p *Parser) parseExplain() (Statement, error) {
 		return nil, err
 	}
 	return &ExplainStmt{Rewrite: rewrite, Analyze: analyze, Query: sel}, nil
+}
+
+func (p *Parser) parseCancel() (Statement, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// Query IDs (q12) lex as identifiers; accept a string literal too so
+	// clients can always quote.
+	if p.tok.Kind != TokIdent && p.tok.Kind != TokString {
+		return nil, p.errorf("expected a query ID after CANCEL, found %s", p.tok)
+	}
+	id := p.tok.Text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &CancelStmt{ID: id}, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 package vexec
 
 import (
+	"perm/internal/obs"
 	"perm/internal/types"
 	"perm/internal/vector"
 )
@@ -37,6 +38,7 @@ type NLJoin struct {
 	selBuf       []int
 	emitOwned    []*vector.Vec
 	emitBuf      []*vector.Vec
+	aq           *obs.ActiveQuery
 }
 
 // NewNLJoin returns a vectorized nested-loop join node.
@@ -76,7 +78,16 @@ func (j *NLJoin) Open() error {
 	return j.Left.Open()
 }
 
+// SetActivity attaches the active-query registration so cooperative
+// cancellation is observed once per emitted batch: a cross join emits
+// millions of batches per probe-scan pull, so polling at the scans alone
+// would leave cancellation latency unbounded.
+func (j *NLJoin) SetActivity(aq *obs.ActiveQuery) { j.aq = aq }
+
 func (j *NLJoin) Next() (*vector.Batch, error) {
+	if err := j.aq.CancelErr(); err != nil {
+		return nil, err
+	}
 	for {
 		if j.curBatch != nil {
 			b, err := j.pairChunk()

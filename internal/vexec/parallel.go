@@ -60,6 +60,16 @@ const seqShift = 40
 type Morsels struct {
 	Rows int
 	next atomic.Int64
+
+	// AQ, when set, receives per-morsel progress for the active-query
+	// registry (perm_stat_activity's morsels claimed/total columns).
+	AQ *obs.ActiveQuery
+}
+
+// Total returns how many morsels one full pass over the snapshot
+// dispatches.
+func (m *Morsels) Total() int64 {
+	return int64((m.Rows + morselRows - 1) / morselRows)
 }
 
 // NewMorsels returns a dispatcher over a snapshot of rows rows.
@@ -86,6 +96,7 @@ func (m *Morsels) grab(limit int) (seq int64, lo, hi int, ok bool) {
 		hi = limit
 	}
 	obs.MorselsDispatched.Inc()
+	m.AQ.MorselClaimed()
 	return s, lo, hi, true
 }
 

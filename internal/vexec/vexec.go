@@ -20,6 +20,7 @@ package vexec
 import (
 	"perm/internal/algebra"
 	"perm/internal/exec"
+	"perm/internal/obs"
 	"perm/internal/spill"
 	"perm/internal/types"
 	"perm/internal/vector"
@@ -81,6 +82,12 @@ type ColScan struct {
 	winCols []*vector.Vec
 	winVecs []vector.Vec
 	selBuf  []int
+
+	// aq, when set, is polled for cooperative cancellation once per
+	// batch window. Scans sit under every long-running phase (sort and
+	// hash builds pull their input through them), so a CANCEL reaches
+	// even a query that is still materializing.
+	aq *obs.ActiveQuery
 }
 
 // NewColScan returns a columnar scan over n rows.
@@ -102,6 +109,10 @@ func (s *ColScan) HasRuntimeFilters() bool { return len(s.rfs) > 0 }
 // SetMorselSource switches the scan to morsel-driven iteration against a
 // shared dispatcher (parallel plans only).
 func (s *ColScan) SetMorselSource(d *Morsels) { s.disp = d }
+
+// SetActivity attaches the active-query record whose cancellation flag
+// the scan polls at every batch boundary (nil: never cancelled).
+func (s *ColScan) SetActivity(aq *obs.ActiveQuery) { s.aq = aq }
 
 // CurrentMorsel returns the sequence number of the morsel the scan's
 // last batch came from.
@@ -143,6 +154,9 @@ func (s *ColScan) Open() error {
 }
 
 func (s *ColScan) Next() (*vector.Batch, error) {
+	if err := s.aq.CancelErr(); err != nil {
+		return nil, err
+	}
 	for {
 		limit := s.NumRows
 		if s.disp != nil {
@@ -392,6 +406,7 @@ type HashJoin struct {
 	grace      *graceJoin
 	buildBytes int64
 	leftOpen   bool
+	aq         *obs.ActiveQuery
 }
 
 // NewHashJoin returns a vectorized hash join node.
@@ -627,7 +642,16 @@ func (j *HashJoin) CurrentBand() int64 {
 	return 0
 }
 
+// SetActivity attaches the active-query registration so cooperative
+// cancellation is observed once per emitted batch: joins multiply rows,
+// so polling here bounds cancellation latency even when the scans
+// underneath are consulted rarely.
+func (j *HashJoin) SetActivity(aq *obs.ActiveQuery) { j.aq = aq }
+
 func (j *HashJoin) Next() (*vector.Batch, error) {
+	if err := j.aq.CancelErr(); err != nil {
+		return nil, err
+	}
 	if j.grace != nil {
 		return j.grace.merger.next()
 	}

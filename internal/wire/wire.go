@@ -38,6 +38,12 @@ const (
 	// OpExplainAnalyze executes SQL under instrumentation and returns the
 	// plan annotated with per-operator runtime statistics as text.
 	OpExplainAnalyze = "EXPLAIN_ANALYZE"
+
+	// OpCancel requests cooperative cancellation of the in-flight query
+	// whose engine query ID (as shown in perm_stat_activity) is in Name.
+	// Like PING it is handled out of band — it never waits behind the
+	// server's worker slots, so a saturated server can still cancel.
+	OpCancel = "CANCEL"
 )
 
 // Request is one client command.

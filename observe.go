@@ -2,11 +2,11 @@ package perm
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
 	"perm/internal/algebra"
-	"perm/internal/exec"
 	"perm/internal/obs"
 	"perm/internal/plan"
 	"perm/internal/qcache"
@@ -31,7 +31,10 @@ func (db *Database) QueryAnalyzed(text string) (*Result, string, error) {
 	if !ok || sel.Into != "" {
 		return nil, "", fmt.Errorf("EXPLAIN ANALYZE requires a plain SELECT statement")
 	}
-	return db.analyzeSelect(sel, text, text)
+	qr := db.beginQuery(text)
+	res, report, err := db.analyzeSelect(sel, text, text, qr)
+	qr.finish(err)
+	return res, report, err
 }
 
 // ExplainAnalyzeSQL executes a query under instrumentation and returns
@@ -46,7 +49,7 @@ func (db *Database) ExplainAnalyzeSQL(text string) (string, error) {
 // plans, instruments and executes a SELECT, returning the boxed result
 // and the annotated plan. fpText is the statement text fingerprinted in
 // the report footer.
-func (db *Database) analyzeSelect(sel *sql.SelectStmt, cacheText, fpText string) (*Result, string, error) {
+func (db *Database) analyzeSelect(sel *sql.SelectStmt, cacheText, fpText string, qr *queryRun) (*Result, string, error) {
 	var q *algebra.Query
 	var ok bool
 	if cacheText != "" {
@@ -54,12 +57,17 @@ func (db *Database) analyzeSelect(sel *sql.SelectStmt, cacheText, fpText string)
 	}
 	if !ok {
 		var err error
-		q, err = db.compileSelect(sel, cacheText)
+		q, err = db.compileSelect(sel, cacheText, qr)
 		if err != nil {
 			return nil, "", err
 		}
 	}
-	node, err := db.planner().Plan(q)
+	qr.phase(obs.PhasePlan)
+	planner := db.planner()
+	if qr != nil {
+		planner.SetActivity(qr.aq)
+	}
+	node, err := planner.Plan(q)
 	if err != nil {
 		return nil, "", err
 	}
@@ -74,12 +82,20 @@ func (db *Database) analyzeSelect(sel *sql.SelectStmt, cacheText, fpText string)
 	for _, pc := range q.ProvCols {
 		res.ProvColumns[pc.Col] = true
 	}
+	qr.phase(obs.PhaseExecute)
+	pre := db.budget.Stats()
 	start := time.Now()
-	rows, err := exec.Collect(node)
+	rows, err := collectRows(node, qr.activeQuery())
 	total := time.Since(start)
 	if err != nil {
 		return nil, "", err
 	}
+	if qr != nil && qr.trace != nil {
+		for _, sp := range plan.OperatorSpans(node) {
+			qr.trace.Add(sp)
+		}
+	}
+	post := db.budget.Stats()
 	res.Rows = make([][]Value, len(rows))
 	for i, r := range rows {
 		vr := make([]Value, len(r))
@@ -88,7 +104,7 @@ func (db *Database) analyzeSelect(sel *sql.SelectStmt, cacheText, fpText string)
 		}
 		res.Rows[i] = vr
 	}
-	report := plan.ExplainAnalyzed(node, total) +
+	report := plan.ExplainAnalyzed(node, total, post.Peak, post.BytesSpilled-pre.BytesSpilled) +
 		"Fingerprint: " + qcache.Fingerprint(fpText) + "\n"
 	return res, report, nil
 }
@@ -122,15 +138,35 @@ func (db *Database) QueryCached(text string) bool {
 	return db.cache.Contains(db.optsKey+"\x00"+text, db.cat.Version())
 }
 
+// EngineVersion identifies the engine build in perm_build_info and the
+// permd banner.
+const EngineVersion = "0.8.0"
+
 // Metrics returns a registry exposing the engine's metric families in
 // the Prometheus text format: compiled-query cache traffic, memory
-// accounting and spill volume, intra-query parallelism activity, and
-// session gauges. The families read live engine state on each
-// exposition; the registry itself adds no cost to query execution.
-// Callers (permd's telemetry endpoint, benchmark tooling) may register
-// further families on the returned registry.
+// accounting and spill volume, intra-query parallelism activity,
+// introspection gauges, per-fingerprint latency histograms, and session
+// gauges. The families read live engine state on each exposition; the
+// registry itself adds no cost to query execution. The registry is
+// built once per engine and shared by every handle, so callers (permd's
+// telemetry endpoint, benchmark tooling) may register further families
+// on it.
 func (db *Database) Metrics() *obs.Registry {
+	db.eng.metricsOnce.Do(func() {
+		db.eng.metricsReg = db.buildMetrics()
+	})
+	return db.eng.metricsReg
+}
+
+func (db *Database) buildMetrics() *obs.Registry {
 	r := obs.NewRegistry()
+
+	r.ReadFunc("perm_build_info",
+		"Engine build identity (value is constant 1).", obs.TypeGauge,
+		`version="`+EngineVersion+`",goversion="`+runtime.Version()+`"`,
+		func() float64 { return 1 })
+	r.ReadFunc("perm_gomaxprocs", "GOMAXPROCS of the engine process.", obs.TypeGauge, "",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
 
 	cacheHelp := "Compiled-query cache lookups by outcome."
 	cacheEvent := func(event string, read func(qcache.Stats) uint64) {
@@ -164,5 +200,11 @@ func (db *Database) Metrics() *obs.Registry {
 	r.GaugeVar("perm_prepared_statements", "Prepared statements currently held by sessions.", "", &obs.PreparedStatements)
 	r.ReadFunc("perm_catalog_version", "Current catalog version (moves on every DDL/DML).", obs.TypeGauge, "",
 		func() float64 { return float64(db.cat.Version()) })
+
+	r.ReadFunc("perm_queries_active", "Queries currently registered as in flight.", obs.TypeGauge, "",
+		func() float64 { return float64(db.eng.activity.Len()) })
+	r.ReadFunc("perm_traces_stored", "Completed query traces held in the trace ring.", obs.TypeGauge, "",
+		func() float64 { return float64(db.eng.tracer.Store.Len()) })
+	r.RawCollector(db.eng.stmts.WritePrometheus)
 	return r
 }

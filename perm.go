@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"perm/internal/algebra"
 	"perm/internal/analyze"
@@ -37,6 +38,7 @@ import (
 	"perm/internal/eval"
 	"perm/internal/exec"
 	"perm/internal/mem"
+	"perm/internal/obs"
 	"perm/internal/optimize"
 	"perm/internal/plan"
 	"perm/internal/provrewrite"
@@ -67,6 +69,14 @@ type Database struct {
 	// the budget and spill to disk when a grant is denied.
 	gov    *mem.Governor
 	budget *mem.Budget
+	// eng is the shared introspection core (query IDs, tracer, active
+	// queries, statement statistics); sessionID identifies this handle in
+	// perm_stat_activity, traceEvery is the resolved sampling rate, and
+	// lastQ records the most recent statement for log correlation.
+	eng        *engineCore
+	sessionID  int64
+	traceEvery int
+	lastQ      atomic.Pointer[QueryInfo]
 }
 
 // Options configure a Database.
@@ -128,6 +138,16 @@ type Options struct {
 	// handle's session budget, so Parallelism composes with MemoryLimit
 	// (workers spill independently under pressure).
 	Parallelism int
+
+	// TraceSample records a full lifecycle trace (phase spans plus
+	// per-operator child spans) for every Nth query this handle runs,
+	// into the engine's shared ring buffer served by the perm_traces
+	// system table. Tracing is semantics-preserving — traced execution is
+	// byte-identical to untraced — and the off path costs one atomic add
+	// per query. 0 consults the PERM_TRACE_SAMPLE environment variable
+	// and falls back to off; a negative value is explicitly off; 1
+	// traces every query.
+	TraceSample int
 }
 
 // envLimitWarn makes sure a malformed PERM_MEMORY_LIMIT is reported
@@ -167,14 +187,20 @@ func NewDatabase() *Database { return NewDatabaseWithOptions(Options{}) }
 // NewDatabaseWithOptions returns an empty database.
 func NewDatabaseWithOptions(opts Options) *Database {
 	gov := mem.NewGovernor(0)
-	return &Database{
-		cat:     catalog.New(),
-		opts:    opts,
-		cache:   qcache.New(opts.QueryCacheSize),
-		optsKey: optionsFingerprint(opts),
-		gov:     gov,
-		budget:  gov.Session(effectiveMemoryLimit(opts)),
+	eng := newEngineCore()
+	db := &Database{
+		cat:        catalog.New(),
+		opts:       opts,
+		cache:      qcache.New(opts.QueryCacheSize),
+		optsKey:    optionsFingerprint(opts),
+		gov:        gov,
+		budget:     gov.Session(effectiveMemoryLimit(opts)),
+		eng:        eng,
+		sessionID:  eng.sessionSeq.Add(1),
+		traceEvery: effectiveTraceSample(opts),
 	}
+	registerSystemViews(db)
+	return db
 }
 
 // WithOptions returns a database handle over the same catalog, data and
@@ -186,13 +212,31 @@ func NewDatabaseWithOptions(opts Options) *Database {
 // so per-session limits are independent while the engine total stays
 // accounted in one place.
 func (db *Database) WithOptions(opts Options) *Database {
+	d := db.withOptions(opts)
+	d.sessionID = db.eng.sessionSeq.Add(1)
+	return d
+}
+
+// WithOptionsSameSession is WithOptions for an options change within an
+// existing session (SET): the derived handle keeps this handle's session
+// identity, so perm_stat_activity and the statement log stay continuous
+// across the change.
+func (db *Database) WithOptionsSameSession(opts Options) *Database {
+	d := db.withOptions(opts)
+	d.sessionID = db.sessionID
+	return d
+}
+
+func (db *Database) withOptions(opts Options) *Database {
 	return &Database{
-		cat:     db.cat,
-		opts:    opts,
-		cache:   db.cache,
-		optsKey: optionsFingerprint(opts),
-		gov:     db.gov,
-		budget:  db.gov.Session(effectiveMemoryLimit(opts)),
+		cat:        db.cat,
+		opts:       opts,
+		cache:      db.cache,
+		optsKey:    optionsFingerprint(opts),
+		gov:        db.gov,
+		budget:     db.gov.Session(effectiveMemoryLimit(opts)),
+		eng:        db.eng,
+		traceEvery: effectiveTraceSample(opts),
 	}
 }
 
@@ -390,7 +434,9 @@ func (db *Database) Exec(text string) (int, error) {
 	}
 	affected := 0
 	for _, stmt := range stmts {
-		n, _, err := db.run(stmt, text)
+		qr := db.beginQuery(text)
+		n, _, err := db.run(stmt, text, qr)
+		qr.finish(err)
 		if err != nil {
 			return affected, err
 		}
@@ -414,21 +460,29 @@ func (db *Database) MustExec(text string) {
 // the catalog version; physical planning and execution always run fresh
 // against the current data. SELECT ... INTO and EXPLAIN bypass the cache.
 func (db *Database) Query(text string) (*Result, error) {
+	qr := db.beginQuery(text)
+	res, err := db.query(text, qr)
+	qr.finish(err)
+	return res, err
+}
+
+func (db *Database) query(text string, qr *queryRun) (*Result, error) {
 	if q, ok := db.cacheGet(text); ok {
-		return db.executeCompiled(q, "")
+		return db.executeCompiled(q, "", qr)
 	}
+	qr.phase(obs.PhaseParse)
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
 	if sel, ok := stmt.(*sql.SelectStmt); ok && sel.Into == "" {
-		q, err := db.compileSelect(sel, text)
+		q, err := db.compileSelect(sel, text, qr)
 		if err != nil {
 			return nil, err
 		}
-		return db.executeCompiled(q, "")
+		return db.executeCompiled(q, "", qr)
 	}
-	_, res, err := db.run(stmt, text)
+	_, res, err := db.run(stmt, text, qr)
 	if err != nil {
 		return nil, err
 	}
@@ -457,9 +511,9 @@ func (db *Database) cacheGet(text string) (*algebra.Query, bool) {
 // we compile, the stored artifact is tagged with the older version and
 // the next lookup discards it, so a cached tree can never be newer than
 // the version it claims.
-func (db *Database) compileSelect(sel *sql.SelectStmt, text string) (*algebra.Query, error) {
+func (db *Database) compileSelect(sel *sql.SelectStmt, text string, qr *queryRun) (*algebra.Query, error) {
 	ver := db.cat.Version()
-	q, err := db.analyzeAndRewrite(sel)
+	q, err := db.analyzeAndRewriteQR(sel, qr)
 	if err != nil {
 		return nil, err
 	}
@@ -472,8 +526,13 @@ func (db *Database) compileSelect(sel *sql.SelectStmt, text string) (*algebra.Qu
 // executeCompiled plans and runs a compiled query tree. The artifact is
 // shared read-only: all per-execution state (the physical plan, its data
 // snapshots and iterator state) is private to this call.
-func (db *Database) executeCompiled(q *algebra.Query, into string) (*Result, error) {
-	node, err := db.planner().Plan(q)
+func (db *Database) executeCompiled(q *algebra.Query, into string, qr *queryRun) (*Result, error) {
+	qr.phase(obs.PhasePlan)
+	planner := db.planner()
+	if qr != nil {
+		planner.SetActivity(qr.aq)
+	}
+	node, err := planner.Plan(q)
 	if err != nil {
 		return nil, err
 	}
@@ -485,17 +544,32 @@ func (db *Database) executeCompiled(q *algebra.Query, into string) (*Result, err
 	for _, pc := range q.ProvCols {
 		res.ProvColumns[pc.Col] = true
 	}
+	qr.phase(obs.PhaseExecute)
+	// A sampled query gets per-operator child spans: instrument the tree
+	// with the EXPLAIN ANALYZE probes (which forward batches and rows by
+	// pointer, so execution stays byte-identical) and harvest their
+	// measurements into the trace afterwards.
+	traced := qr != nil && qr.trace != nil
+	if traced {
+		node = plan.Instrument(node)
+	}
+	aq := qr.activeQuery()
 	// A fully vectorized plan ends in a single batch→row adapter; read
 	// the batches underneath it directly so result values box straight
 	// out of the column vectors instead of through intermediate rows.
 	if rs, ok := node.(*vexec.RowSource); ok && into == "" {
-		res.Rows, err = collectBatchValues(rs.Input)
+		res.Rows, err = collectBatchValues(rs.Input, aq)
 		if err != nil {
 			return nil, err
 		}
 		return res, nil
 	}
-	rows, err := exec.Collect(node)
+	rows, err := collectRows(node, aq)
+	if traced && err == nil {
+		for _, sp := range plan.OperatorSpans(node) {
+			qr.trace.Add(sp)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -515,9 +589,44 @@ func (db *Database) executeCompiled(q *algebra.Query, into string) (*Result, err
 	return res, nil
 }
 
+// collectRows drains a row plan like exec.Collect, additionally feeding
+// emitted-row progress and cancellation checks to the active-query
+// record at batch-sized strides.
+func collectRows(n exec.Node, aq *obs.ActiveQuery) ([]types.Row, error) {
+	if aq == nil {
+		return exec.Collect(n)
+	}
+	if err := n.Open(); err != nil {
+		return nil, err
+	}
+	defer n.Close()
+	var rows []types.Row
+	pending := int64(0)
+	for {
+		r, err := n.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			aq.AddRows(pending)
+			return rows, nil
+		}
+		rows = append(rows, r)
+		if pending++; pending == 1024 {
+			aq.AddRows(pending)
+			pending = 0
+			if err := aq.CancelErr(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
 // collectBatchValues drains a vectorized plan into result rows, boxing
-// each live lane once.
-func collectBatchValues(in vexec.Node) ([][]Value, error) {
+// each live lane once. Per batch it feeds emitted-row progress and a
+// cancellation check to the active-query record (one atomic add and one
+// atomic load per batch).
+func collectBatchValues(in vexec.Node, aq *obs.ActiveQuery) ([][]Value, error) {
 	if err := in.Open(); err != nil {
 		return nil, err
 	}
@@ -531,6 +640,12 @@ func collectBatchValues(in vexec.Node) ([][]Value, error) {
 		if b == nil {
 			return out, nil
 		}
+		if aq != nil {
+			if err := aq.CancelErr(); err != nil {
+				return nil, err
+			}
+		}
+		before := len(out)
 		emit := func(lane int) {
 			vr := make([]Value, len(b.Cols))
 			for j, c := range b.Cols {
@@ -547,6 +662,7 @@ func collectBatchValues(in vexec.Node) ([][]Value, error) {
 				emit(lane)
 			}
 		}
+		aq.AddRows(int64(len(out) - before))
 	}
 }
 
@@ -665,6 +781,14 @@ func (db *Database) analyzer() *analyze.Analyzer {
 // to the planner, with the optimizer standing in for the normalization
 // PostgreSQL's own planner performs on the rewriter's nested output.
 func (db *Database) analyzeAndRewrite(sel *sql.SelectStmt) (*algebra.Query, error) {
+	return db.analyzeAndRewriteQR(sel, nil)
+}
+
+// analyzeAndRewriteQR is analyzeAndRewrite with lifecycle phase marks:
+// analysis and the provenance rewrite report as the rewrite phase, the
+// optimizer as the optimize phase.
+func (db *Database) analyzeAndRewriteQR(sel *sql.SelectStmt, qr *queryRun) (*algebra.Query, error) {
+	qr.phase(obs.PhaseRewrite)
 	q, err := db.analyzer().AnalyzeSelect(sel)
 	if err != nil {
 		return nil, err
@@ -673,6 +797,7 @@ func (db *Database) analyzeAndRewrite(sel *sql.SelectStmt) (*algebra.Query, erro
 	if err != nil {
 		return nil, err
 	}
+	qr.phase(obs.PhaseOptimize)
 	if !db.opts.DisableOptimizer {
 		q = optimize.QueryWithStats(q, catalogStats{cat: db.cat})
 	}
@@ -728,11 +853,13 @@ func (db *Database) CompileWithRewrite(text string) error {
 
 // run executes one parsed statement. It returns rows-affected (DML) and a
 // result (queries).
-func (db *Database) run(stmt sql.Statement, text string) (int, *Result, error) {
+func (db *Database) run(stmt sql.Statement, text string, qr *queryRun) (int, *Result, error) {
 	switch s := stmt.(type) {
 	case *sql.SelectStmt:
-		res, err := db.runSelect(s)
+		res, err := db.runSelect(s, qr)
 		return 0, res, err
+	case *sql.CancelStmt:
+		return 0, nil, db.Cancel(s.ID)
 	case *sql.CreateTableStmt:
 		cols := make([]catalog.Column, len(s.Cols))
 		for i, c := range s.Cols {
@@ -750,7 +877,7 @@ func (db *Database) run(stmt sql.Statement, text string) (int, *Result, error) {
 	case *sql.DropStmt:
 		return 0, nil, db.cat.Drop(s.Name, s.View, s.IfExists)
 	case *sql.InsertStmt:
-		n, err := db.runInsert(s)
+		n, err := db.runInsert(s, qr)
 		return n, nil, err
 	case *sql.DeleteStmt:
 		n, err := db.runDelete(s)
@@ -772,7 +899,7 @@ func (db *Database) run(stmt sql.Statement, text string) (int, *Result, error) {
 			if qtext == text || strings.ContainsRune(qtext, ';') {
 				qtext = ""
 			}
-			_, report, aerr := db.analyzeSelect(s.Query, qtext, fpText)
+			_, report, aerr := db.analyzeSelect(s.Query, qtext, fpText, qr)
 			if aerr != nil {
 				return 0, nil, aerr
 			}
@@ -798,14 +925,14 @@ func (db *Database) run(stmt sql.Statement, text string) (int, *Result, error) {
 	}
 }
 
-func (db *Database) runSelect(sel *sql.SelectStmt) (*Result, error) {
+func (db *Database) runSelect(sel *sql.SelectStmt, qr *queryRun) (*Result, error) {
 	into := sel.Into
 	sel.Into = ""
-	q, err := db.analyzeAndRewrite(sel)
+	q, err := db.analyzeAndRewriteQR(sel, qr)
 	if err != nil {
 		return nil, err
 	}
-	return db.executeCompiled(q, into)
+	return db.executeCompiled(q, into, qr)
 }
 
 // materialize stores a result as a new base table (SELECT ... INTO).
@@ -836,7 +963,7 @@ func (db *Database) materialize(name string, schema algebra.Schema, rows []types
 	return nil
 }
 
-func (db *Database) runInsert(s *sql.InsertStmt) (int, error) {
+func (db *Database) runInsert(s *sql.InsertStmt, qr *queryRun) (int, error) {
 	t, ok := db.cat.Table(s.Table)
 	if !ok {
 		return 0, fmt.Errorf("table %q does not exist", s.Table)
@@ -880,7 +1007,7 @@ func (db *Database) runInsert(s *sql.InsertStmt) (int, error) {
 
 	n := 0
 	if s.Query != nil {
-		res, err := db.runSelect(s.Query)
+		res, err := db.runSelect(s.Query, qr)
 		if err != nil {
 			return 0, err
 		}

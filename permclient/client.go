@@ -77,6 +77,17 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// Cancel requests cooperative cancellation of the in-flight query with
+// the given engine query ID (as shown in perm_stat_activity). The
+// request is handled out of band on the server — it does not wait
+// behind the worker pool — so it can cancel the very queries saturating
+// it. Use a separate connection from the one running the target query:
+// requests on one connection are serialized.
+func (c *Client) Cancel(queryID string) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpCancel, Name: queryID})
+	return err
+}
+
 // Query runs a SELECT (or EXPLAIN) and returns its result.
 func (c *Client) Query(sql string) (*perm.Result, error) {
 	resp, err := c.roundTrip(&wire.Request{Op: wire.OpQuery, SQL: sql})

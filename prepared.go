@@ -75,7 +75,7 @@ func (p *Prepared) compiled() (*algebra.Query, error) {
 		p.q, p.ver = q, cur
 		return q, nil
 	}
-	q, err := p.db.compileSelect(p.sel, p.text)
+	q, err := p.db.compileSelect(p.sel, p.text, nil)
 	if err != nil {
 		p.q = nil
 		return nil, err
@@ -90,7 +90,10 @@ func (p *Prepared) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.db.executeCompiled(q, "")
+	qr := p.db.beginQuery(p.text)
+	res, err := p.db.executeCompiled(q, "", qr)
+	qr.finish(err)
+	return res, err
 }
 
 // Start opens a cursor (a portal, in PostgreSQL terms) over the prepared
