@@ -49,6 +49,7 @@ func main() {
 		spillDir = flag.String("spill-dir", "", "directory for spill files (default $PERM_SPILL_DIR or the system temp dir)")
 		paraN    = flag.Int("parallelism", 0, "intra-query worker count (0 = $PERM_PARALLELISM or all cores, 1 = serial)")
 		traceN   = flag.Int("trace-sample", 0, "record a lifecycle trace for every Nth query into perm_traces (0 = $PERM_TRACE_SAMPLE or off, negative = off)")
+		stmtTO   = flag.Duration("statement-timeout", 0, "cancel statements running longer than this (0 = $PERM_STATEMENT_TIMEOUT or none, negative = none)")
 		timing   = flag.Bool("timing", true, "print execution times")
 	)
 	flag.Parse()
@@ -103,6 +104,16 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *stmtTO != 0 {
+			v := stmtTO.String()
+			if *stmtTO < 0 {
+				v = "off"
+			}
+			if err := client.Set("statement_timeout", v); err != nil {
+				fmt.Fprintf(os.Stderr, "SET statement_timeout: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *spillDir != "" {
 			fmt.Fprintln(os.Stderr, "-spill-dir applies to the embedded engine; start permd with -spill-dir instead")
 		}
@@ -129,6 +140,7 @@ func main() {
 			SpillDir:          *spillDir,
 			Parallelism:       *paraN,
 			TraceSample:       *traceN,
+			StatementTimeout:  *stmtTO,
 		})
 		if *loadSF > 0 {
 			fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g ...\n", *loadSF)

@@ -79,6 +79,10 @@ func main() {
 		spillDir = flag.String("spill-dir", "", "directory for spill files (default $PERM_SPILL_DIR or the system temp dir)")
 		paraN    = flag.Int("parallelism", 0, "intra-query worker count (0 = $PERM_PARALLELISM or all cores, 1 = serial)")
 		traceN   = flag.Int("trace-sample", 0, "record a lifecycle trace for every Nth query into perm_traces (0 = $PERM_TRACE_SAMPLE or off, negative = off)")
+		stmtTO   = flag.Duration("statement-timeout", 0, "cancel statements running longer than this (0 = $PERM_STATEMENT_TIMEOUT or none, negative = none)")
+		maxConns = flag.Int("max-connections", 0, "max concurrently open client connections (0 = unlimited; excess connections get a retryable error)")
+		queueN   = flag.Int("queue-depth", 0, "statements allowed to queue for a worker slot before load shedding (0 = twice the worker count)")
+		idleTO   = flag.Duration("idle-timeout", 0, "close connections idle longer than this between requests (0 = never)")
 		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address (empty = disabled)")
 		slowMS   = flag.Int("slow-query-ms", -1, "log statements slower than this many milliseconds as JSON lines on stderr (0 = every statement, negative = disabled)")
@@ -110,6 +114,7 @@ func main() {
 		SpillDir:          *spillDir,
 		Parallelism:       *paraN,
 		TraceSample:       *traceN,
+		StatementTimeout:  *stmtTO,
 	})
 	if *totalMem != "" {
 		n, err := mem.ParseSize(*totalMem)
@@ -136,6 +141,9 @@ func main() {
 	}
 
 	srv := server.New(db, *workers)
+	srv.SetQueueDepth(*queueN)
+	srv.SetMaxConnections(*maxConns)
+	srv.SetIdleTimeout(*idleTO)
 	if *slowMS >= 0 {
 		srv.SetSlowQueryLog(time.Duration(*slowMS)*time.Millisecond, os.Stderr)
 	}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"perm/internal/fault"
 	"perm/internal/obs"
 )
 
@@ -218,6 +219,13 @@ func (r *Reservation) Limited() bool {
 func (r *Reservation) Grow(n int64) bool {
 	if r == nil || n <= 0 {
 		return true
+	}
+	// The fault tap denies grants only on limited reservations: operators
+	// treat a denial as "spill now", and only budgeted operators carry
+	// the spill machinery an injected denial exercises.
+	if r.b.Limited() && fault.Should(fault.PointMemGrow) {
+		obs.MemDenials.Inc()
+		return false
 	}
 	if !r.b.c.tryGrow(n) {
 		obs.MemDenials.Inc()

@@ -63,7 +63,13 @@ type ActiveQuery struct {
 	rows           atomic.Int64
 	morselsClaimed atomic.Int64
 	morselsTotal   atomic.Int64
-	cancelled      atomic.Bool
+	// cause records why the query is being torn down (0 = running).
+	// First writer wins: a timeout landing after a user cancel (or vice
+	// versa) keeps the original cause, so the error the issuer sees
+	// matches what actually stopped the query. timeoutNS carries the
+	// deadline duration for the timeout error message.
+	cause     atomic.Int32
+	timeoutNS atomic.Int64
 
 	// MemStats reports (reserved, spilled) bytes attributable to the
 	// query's session at snapshot time; set once at registration, before
@@ -116,26 +122,61 @@ func (q *ActiveQuery) Morsels() (claimed, total int64) {
 	return q.morselsClaimed.Load(), q.morselsTotal.Load()
 }
 
+// Cancellation causes.
+const (
+	causeNone int32 = iota
+	causeCancel
+	causeTimeout
+)
+
 // Cancel requests cooperative cancellation: the executing query observes
-// the flag at its next batch boundary and unwinds with ErrCancelled.
+// the flag at its next batch boundary and unwinds with a structured
+// QueryError (code "cancelled").
 func (q *ActiveQuery) Cancel() {
 	if q == nil {
 		return
 	}
-	q.cancelled.Store(true)
+	q.cause.CompareAndSwap(causeNone, causeCancel)
+}
+
+// CancelTimeout requests cancellation because the statement timeout d
+// elapsed. It reports whether this call set the cause (false when the
+// query was already being cancelled for another reason), so the caller
+// can count timed-out statements exactly once.
+func (q *ActiveQuery) CancelTimeout(d time.Duration) bool {
+	if q == nil {
+		return false
+	}
+	q.timeoutNS.Store(int64(d))
+	return q.cause.CompareAndSwap(causeNone, causeTimeout)
 }
 
 // Cancelled reports whether cancellation has been requested.
-func (q *ActiveQuery) Cancelled() bool { return q != nil && q.cancelled.Load() }
+func (q *ActiveQuery) Cancelled() bool { return q != nil && q.cause.Load() != causeNone }
 
 // CancelErr returns the error a cancelled query unwinds with, or nil.
 // Executors call it at batch boundaries: one atomic load on the normal
 // path.
 func (q *ActiveQuery) CancelErr() error {
-	if q == nil || !q.cancelled.Load() {
+	if q == nil {
 		return nil
 	}
-	return fmt.Errorf("query %s cancelled", q.ID)
+	switch q.cause.Load() {
+	case causeCancel:
+		return &QueryError{
+			Code:    CodeCancelled,
+			QueryID: q.ID,
+			Message: fmt.Sprintf("query %s cancelled", q.ID),
+		}
+	case causeTimeout:
+		return &QueryError{
+			Code:    CodeTimeout,
+			QueryID: q.ID,
+			Message: fmt.Sprintf("query %s cancelled: statement timeout of %s exceeded", q.ID, time.Duration(q.timeoutNS.Load())),
+		}
+	default:
+		return nil
+	}
 }
 
 // Activity is the engine-wide registry of in-flight statements.

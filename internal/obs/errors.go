@@ -1,0 +1,25 @@
+// Structured query errors. The engine core raises them (cancellation,
+// statement timeout), the wire layer maps their codes into response
+// frames, and clients switch on the code instead of parsing message
+// text. The type lives in obs because it is the one package both the
+// engine core and the service layers already share.
+package obs
+
+// Query error codes carried by QueryError.Code.
+const (
+	// CodeCancelled: the query was cancelled by an explicit request
+	// (CANCEL statement, wire CANCEL op).
+	CodeCancelled = "cancelled"
+	// CodeTimeout: the query exceeded its statement timeout.
+	CodeTimeout = "timeout"
+)
+
+// QueryError is a structured engine error: a machine-readable code, the
+// ID of the query it terminated, and the human-readable message.
+type QueryError struct {
+	Code    string
+	QueryID string
+	Message string
+}
+
+func (e *QueryError) Error() string { return e.Message }

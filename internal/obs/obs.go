@@ -149,6 +149,17 @@ var (
 	// SessionsActive / PreparedStatements track the session subsystem.
 	SessionsActive     Gauge
 	PreparedStatements Gauge
+
+	// Robustness counters: PanicsRecovered counts panics converted to
+	// errors (per-query dispatch and parallel workers);
+	// StatementTimeouts counts statements cancelled by their timeout;
+	// ConnsShed counts connections or requests refused by admission
+	// control (max-connections, full worker queue, drain-time
+	// arrivals); ClientRetries counts permclient retry attempts.
+	PanicsRecovered   Counter
+	StatementTimeouts Counter
+	ConnsShed         Counter
+	ClientRetries     Counter
 )
 
 // ---------------------------------------------------------------------------

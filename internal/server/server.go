@@ -17,12 +17,15 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"perm"
+	"perm/internal/fault"
 	"perm/internal/obs"
 	"perm/internal/qcache"
 	"perm/internal/session"
@@ -41,6 +44,16 @@ type slowLog struct {
 type Server struct {
 	db  *perm.Database
 	sem chan struct{} // worker pool: bounds concurrently executing statements
+
+	// admit bounds executing plus queued statements (admission control):
+	// a request that cannot take a slot without blocking is shed with a
+	// retryable "overloaded" error instead of queueing without limit.
+	// maxConns bounds open client connections and idleTimeout puts
+	// read/write deadlines on each connection. All three are configured
+	// before Serve.
+	admit       chan struct{}
+	maxConns    int
+	idleTimeout time.Duration
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -70,8 +83,11 @@ func New(db *perm.Database, workers int) *Server {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Server{
-		db:    db,
-		sem:   make(chan struct{}, workers),
+		db:  db,
+		sem: make(chan struct{}, workers),
+		// Default admission queue: twice the worker count may wait
+		// beyond the statements executing (see SetQueueDepth).
+		admit: make(chan struct{}, workers+2*workers),
 		conns: make(map[net.Conn]struct{}),
 		// Request latency buckets from 100µs to 10s (observed in
 		// nanoseconds, exposed in seconds).
@@ -83,6 +99,30 @@ func New(db *perm.Database, workers int) *Server {
 
 // Workers returns the worker-pool size.
 func (s *Server) Workers() int { return cap(s.sem) }
+
+// SetQueueDepth bounds how many statements may wait for a worker slot
+// beyond the ones executing (<= 0 restores the default of twice the
+// worker count). Arrivals past the bound are shed immediately with a
+// retryable "overloaded" error instead of queueing without limit. Must
+// be called before Serve.
+func (s *Server) SetQueueDepth(n int) {
+	if n <= 0 {
+		n = 2 * cap(s.sem)
+	}
+	s.admit = make(chan struct{}, cap(s.sem)+n)
+}
+
+// SetMaxConnections bounds concurrently open client connections (<= 0:
+// unlimited). A connection over the limit has its first request answered
+// with a retryable "overloaded" error before the connection closes. Must
+// be called before Serve.
+func (s *Server) SetMaxConnections(n int) { s.maxConns = n }
+
+// SetIdleTimeout arms per-connection read/write deadlines: a connection
+// idle for longer than d between requests — or one that cannot accept a
+// response frame within d — is closed (0: no deadline). Must be called
+// before Serve.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
 
 // Draining reports whether Shutdown has started (health endpoints use
 // this to fail readiness before the listener closes).
@@ -156,11 +196,42 @@ func (s *Server) Serve(ln net.Listener) error {
 			conn.Close() //nolint:errcheck
 			continue
 		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.conns[conn] = struct{}{}
+			s.connWg.Add(1)
+			s.mu.Unlock()
+			obs.ConnsShed.Inc()
+			go s.refuse(conn, wire.CodeOverloaded, "connection limit reached: retry later")
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.connWg.Add(1)
 		s.mu.Unlock()
 		go s.handleConn(conn)
 	}
+}
+
+// refuseTimeout bounds how long a refused connection is held open
+// waiting to deliver its error frame.
+const refuseTimeout = 2 * time.Second
+
+// refuse answers the connection's first request with a structured
+// retryable error and closes it: a client over the connection limit
+// sees a machine-readable refusal instead of a dropped socket. The
+// connection is tracked like any other so Shutdown closes it too.
+func (s *Server) refuse(conn net.Conn, code, msg string) {
+	defer s.connWg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close() //nolint:errcheck
+	}()
+	conn.SetDeadline(time.Now().Add(refuseTimeout)) //nolint:errcheck
+	if _, err := wire.ReadRequest(conn); err != nil {
+		return
+	}
+	wire.WriteFrame(conn, wire.ErrorResponseCode(code, msg)) //nolint:errcheck
 }
 
 // Addr returns the listener address (nil before Serve).
@@ -222,17 +293,22 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 
 	for {
+		if d := s.idleTimeout; d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck
+		}
 		req, err := wire.ReadRequest(conn)
 		if err != nil {
-			return // client went away (or shutdown closed us)
+			return // client went away, idled out, or shutdown closed us
 		}
 		// Register the request under the lock Shutdown uses to flip
 		// draining: either the Add lands before the drain wait starts
-		// (Shutdown waits for us), or we observe draining and drop the
-		// request unexecuted. Never both, never neither.
+		// (Shutdown waits for us), or we observe draining and answer with
+		// a structured retryable error, unexecuted. Never both, never
+		// neither.
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
+			s.writeResponse(conn, wire.ErrorResponseCode(wire.CodeDraining, "server draining: request not executed")) //nolint:errcheck
 			return
 		}
 		s.reqWg.Add(1)
@@ -242,6 +318,23 @@ func (s *Server) handleConn(conn net.Conn) {
 		// the very queries occupying the slots must be able to land.
 		outOfBand := req.Op == wire.OpPing || req.Op == wire.OpCancel
 		if !outOfBand {
+			// Admission control: take a queue slot without blocking or
+			// shed the request. The admit channel caps executing plus
+			// queued statements, so the wait for a worker slot below is
+			// bounded and a surge degrades into fast retryable errors
+			// instead of an unbounded queue.
+			select {
+			case s.admit <- struct{}{}:
+			default:
+				obs.ConnsShed.Inc()
+				s.errsTotal.Inc()
+				err := s.writeResponse(conn, wire.ErrorResponseCode(wire.CodeOverloaded, "server overloaded: admission queue full, retry with backoff"))
+				s.reqWg.Done()
+				if err != nil {
+					return
+				}
+				continue
+			}
 			s.sem <- struct{}{} // acquire a worker slot
 		}
 		slow := s.slow.Load()
@@ -250,10 +343,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			pre = s.precondition(sess, req)
 		}
 		start := time.Now()
-		resp := s.dispatch(sess, req)
+		resp := s.safeDispatch(sess, req)
 		dur := time.Since(start)
 		if !outOfBand {
 			<-s.sem
+			<-s.admit
 		}
 		s.reqsTotal.Inc()
 		s.reqDur.Observe(dur.Nanoseconds())
@@ -264,23 +358,57 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.slowTotal.Inc()
 			s.logSlow(slow, sess, req, resp, dur, pre)
 		}
-		// A response that cannot be encoded (unmarshalable values, frame
-		// too large) becomes an error response; only real I/O failures
-		// tear down the connection (and with it the session).
-		frame, err := wire.Encode(resp)
-		if err != nil {
-			frame, err = wire.Encode(wire.ErrorResponse(fmt.Errorf("cannot encode response: %v", err)))
-			if err != nil {
-				s.reqWg.Done()
-				return
-			}
-		}
-		_, err = conn.Write(frame)
+		err = s.writeResponse(conn, resp)
 		s.reqWg.Done()
 		if err != nil {
 			return
 		}
 	}
+}
+
+// writeResponse encodes resp and writes it as one frame under the
+// connection's write deadline. A response that cannot be encoded
+// (unmarshalable values, frame too large) becomes an error response;
+// only real I/O failures — which tear down the connection — return an
+// error. The conn.drop fault tap simulates a server dying mid-frame:
+// half the frame, then the connection closes under the client.
+func (s *Server) writeResponse(conn net.Conn, resp *wire.Response) error {
+	frame, err := wire.Encode(resp)
+	if err != nil {
+		frame, err = wire.Encode(wire.ErrorResponse(fmt.Errorf("cannot encode response: %v", err)))
+		if err != nil {
+			return err
+		}
+	}
+	if d := s.idleTimeout; d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck
+	}
+	if fault.Should(fault.PointConnDrop) {
+		conn.Write(frame[:len(frame)/2]) //nolint:errcheck
+		conn.Close()                     //nolint:errcheck
+		return fmt.Errorf("fault: connection dropped mid-frame")
+	}
+	_, err = conn.Write(frame)
+	return err
+}
+
+// safeDispatch runs dispatch under a panic barrier: a statement that
+// panics inside the engine is converted into a structured "internal"
+// wire error (with the stack on stderr for the operator) instead of
+// crashing the process. The connection, its session, and every other
+// query keep working.
+func (s *Server) safeDispatch(sess *session.Session, req *wire.Request) (resp *wire.Response) {
+	defer func() {
+		if p := recover(); p != nil {
+			obs.PanicsRecovered.Inc()
+			fmt.Fprintf(os.Stderr, "permd: recovered panic in %s: %v\n%s", req.Op, p, debug.Stack())
+			resp = wire.ErrorResponseCode(wire.CodeInternal, fmt.Sprintf("internal error: statement panicked: %v", p))
+		}
+	}()
+	if err := fault.Failure(fault.PointDispatch); err != nil {
+		panic(err)
+	}
+	return s.dispatch(sess, req)
 }
 
 // dispatch executes one request against the connection's session.

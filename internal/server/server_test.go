@@ -14,9 +14,11 @@ import (
 )
 
 // startServer runs a server over db on a random port and returns a
-// connected client plus the address. Everything is cleaned up by t.
+// connected client plus the address. Everything is cleaned up by t,
+// including a goroutine-leak check that runs after the shutdown.
 func startServer(t *testing.T, db *perm.Database, workers int) (addr string) {
 	t.Helper()
+	leakCheck(t)
 	srv := New(db, workers)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

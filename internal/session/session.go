@@ -15,6 +15,7 @@
 //	SET memory_limit = <size>        per-session memory budget (spill past it)
 //	SET parallelism = <n>            intra-query worker count (0 = all cores)
 //	SET trace_sample = <n>           trace every Nth query (off = none)
+//	SET statement_timeout = <d>      per-statement deadline (ms or duration, off = none)
 //	CANCEL <query_id>                cancel an in-flight query (any session's)
 //
 // A session is safe for concurrent use, but is designed for one client:
@@ -27,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"perm"
 	"perm/internal/mem"
@@ -41,12 +43,14 @@ type Session struct {
 	prepared map[string]*perm.Prepared
 	portals  map[string]*perm.Cursor
 	// baseMemLimit is the server-configured memory limit the session
-	// started with; SET memory_limit = 0 restores it. baseParallelism and
-	// baseTraceSample are the same for the intra-query worker count and
-	// the trace sampling rate.
-	baseMemLimit    int64
-	baseParallelism int
-	baseTraceSample int
+	// started with; SET memory_limit = 0 restores it. baseParallelism,
+	// baseTraceSample and baseStatementTimeout are the same for the
+	// intra-query worker count, the trace sampling rate and the
+	// statement timeout.
+	baseMemLimit         int64
+	baseParallelism      int
+	baseTraceSample      int
+	baseStatementTimeout time.Duration
 }
 
 // New returns a session over the database (inheriting its options).
@@ -56,12 +60,13 @@ type Session struct {
 func New(db *perm.Database) *Session {
 	obs.SessionsActive.Inc()
 	return &Session{
-		db:              db.WithOptions(db.Opts()),
-		prepared:        make(map[string]*perm.Prepared),
-		portals:         make(map[string]*perm.Cursor),
-		baseMemLimit:    db.Opts().MemoryLimit,
-		baseParallelism: db.Opts().Parallelism,
-		baseTraceSample: db.Opts().TraceSample,
+		db:                   db.WithOptions(db.Opts()),
+		prepared:             make(map[string]*perm.Prepared),
+		portals:              make(map[string]*perm.Cursor),
+		baseMemLimit:         db.Opts().MemoryLimit,
+		baseParallelism:      db.Opts().Parallelism,
+		baseTraceSample:      db.Opts().TraceSample,
+		baseStatementTimeout: db.Opts().StatementTimeout,
 	}
 }
 
@@ -240,8 +245,12 @@ func (s *Session) Close() {
 // the session limit and "0" restores the limit the server configured
 // this session with. parallelism takes the intra-query worker count (0
 // defers to the server's configuration, 1 or "off" forces serial
-// plans). Prepared statements are re-prepared under the new options so
-// EXECUTE always honours the session's current settings.
+// plans). statement_timeout takes a per-statement deadline — a plain
+// integer is milliseconds (PostgreSQL convention), otherwise a Go
+// duration like "1.5s"; "off" disables the deadline and "0" restores
+// the timeout the server configured this session with. Prepared
+// statements are re-prepared under the new options so EXECUTE always
+// honours the session's current settings.
 func (s *Session) SetOption(name, value string) error {
 	// The whole read-modify-commit runs under the session lock (Prepare
 	// only touches shared engine state, never the session, so holding mu
@@ -286,6 +295,34 @@ func (s *Session) SetOption(name, value string) error {
 			}
 			opts.TraceSample = n
 		}
+		return s.commitOptions(opts)
+	case "statement_timeout":
+		v := strings.ToLower(strings.TrimSpace(value))
+		if v == "off" {
+			opts.StatementTimeout = -1
+			return s.commitOptions(opts)
+		}
+		var d time.Duration
+		if ms, err := strconv.Atoi(v); err == nil {
+			// A bare integer is milliseconds, like PostgreSQL's
+			// statement_timeout.
+			if ms < 0 {
+				return fmt.Errorf("statement_timeout must be a non-negative duration or off, got %q", value)
+			}
+			d = time.Duration(ms) * time.Millisecond
+		} else {
+			pd, err := time.ParseDuration(v)
+			if err != nil || pd < 0 {
+				return fmt.Errorf("statement_timeout must be milliseconds, a duration like 500ms, or off, got %q", value)
+			}
+			d = pd
+		}
+		if d == 0 {
+			// 0 restores the timeout the server configured this session
+			// with (which may itself defer to PERM_STATEMENT_TIMEOUT).
+			d = s.baseStatementTimeout
+		}
+		opts.StatementTimeout = d
 		return s.commitOptions(opts)
 	}
 	if strings.EqualFold(strings.TrimSpace(name), "memory_limit") {

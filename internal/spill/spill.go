@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"perm/internal/fault"
 	"perm/internal/mem"
 	"perm/internal/types"
 	"perm/internal/vector"
@@ -122,6 +123,9 @@ type tempFile struct {
 }
 
 func newTempFile(dir string) (*tempFile, error) {
+	if err := fault.Failure(fault.PointSpillWrite); err != nil {
+		return nil, fmt.Errorf("spill: create temp file: %w", err)
+	}
 	dir = ResolveDir(dir)
 	f, err := os.CreateTemp(dir, FilePrefix+"*")
 	if err != nil {
@@ -135,6 +139,11 @@ func newTempFile(dir string) (*tempFile, error) {
 }
 
 func (t *tempFile) write(p []byte) error {
+	// The fault tap simulates a mid-run write failure (disk full): the
+	// bytes are reported unwritten, exactly as a short write would.
+	if err := fault.Failure(fault.PointSpillWrite); err != nil {
+		return fmt.Errorf("spill: write: %w", err)
+	}
 	n, err := t.w.Write(p)
 	t.bytes += int64(n)
 	return err
@@ -146,6 +155,9 @@ func (t *tempFile) finish() error {
 		return nil
 	}
 	t.finished = true
+	if err := fault.Failure(fault.PointSpillWrite); err != nil {
+		return fmt.Errorf("spill: flush: %w", err)
+	}
 	if err := t.w.Flush(); err != nil {
 		return err
 	}
@@ -274,6 +286,9 @@ func (r *Run) Finish() error { return r.t.finish() }
 // the run. Returned vectors are freshly allocated and owned by the
 // caller.
 func (r *Run) ReadCols() ([]*vector.Vec, int, error) {
+	if err := fault.Failure(fault.PointSpillRead); err != nil {
+		return nil, 0, fmt.Errorf("spill: read: %w", err)
+	}
 	var hdr [6]byte
 	if _, err := io.ReadFull(r.t.r, hdr[:4]); err != nil {
 		if err == io.EOF {
@@ -420,6 +435,9 @@ func (r *RowRun) Finish() error { return r.t.finish() }
 
 // ReadRow reads the next row; it returns (nil, nil) at the end.
 func (r *RowRun) ReadRow() (types.Row, error) {
+	if err := fault.Failure(fault.PointSpillRead); err != nil {
+		return nil, fmt.Errorf("spill: read: %w", err)
+	}
 	var b [8]byte
 	if _, err := io.ReadFull(r.t.r, b[:2]); err != nil {
 		if err == io.EOF {

@@ -29,10 +29,13 @@
 package vexec
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"perm/internal/exec"
+	"perm/internal/fault"
 	"perm/internal/obs"
 	"perm/internal/spill"
 	"perm/internal/types"
@@ -234,14 +237,33 @@ func (e *Exchange) run(i int) {
 	defer e.wg.Done()
 	defer close(e.chans[i])
 	tap := e.Workers[i]
+	opened := false
+	// The recover defer runs before the close defer above (LIFO), so a
+	// panicking worker still sends its error item on an open channel: the
+	// k-way merge surfaces one error instead of deadlocking, and the
+	// worker's subtree is closed under a guard so its reservations and
+	// spill files are released even when the panic left it inconsistent.
+	defer func() {
+		p := recover()
+		if opened {
+			closeQuietly(tap)
+		}
+		if p != nil {
+			obs.PanicsRecovered.Inc()
+			e.send(i, exItem{tag: -1, err: fmt.Errorf("parallel worker panicked: %v", p)})
+		}
+	}()
 	if err := tap.Open(); err != nil {
 		// A failed Open never sees a matching Close (the engine-wide
 		// convention): the subtree unwound itself.
 		e.send(i, exItem{tag: -1, err: err})
 		return
 	}
-	defer tap.Close() //nolint:errcheck — worker-local unwinding
+	opened = true
 	for {
+		if err := fault.Failure(fault.PointWorkerPanic); err != nil {
+			panic(err)
+		}
 		b, err := tap.Next()
 		if err != nil {
 			e.send(i, exItem{tag: tap.Base(), err: err})
@@ -254,6 +276,14 @@ func (e *Exchange) run(i int) {
 			return
 		}
 	}
+}
+
+// closeQuietly closes a worker subtree swallowing both errors and
+// panics: cleanup of a worker that already failed must not mask the
+// original error or take the process down with a secondary crash.
+func closeQuietly(n Node) {
+	defer func() { _ = recover() }()
+	n.Close() //nolint:errcheck — worker-local unwinding
 }
 
 func (e *Exchange) send(i int, it exItem) bool {
@@ -362,11 +392,7 @@ func (pa *ParallelAgg) Open() error {
 	pa.outRuns = nil
 	errs := openConcurrently(len(pa.Workers), func(i int) error { return pa.Workers[i].Open() })
 	if err := firstError(errs); err != nil {
-		for i, w := range pa.Workers {
-			if errs[i] == nil {
-				w.Close() //nolint:errcheck — unwinding a failed Open
-			}
-		}
+		closeAfterOpen(errs, func(i int) error { return pa.Workers[i].Close() })
 		return err
 	}
 	h0 := pa.Workers[0]
@@ -524,11 +550,7 @@ func (s *ParallelSort) Open() error {
 	s.heap = s.heap[:0]
 	errs := openConcurrently(len(s.Workers), func(i int) error { return s.Workers[i].Open() })
 	if err := firstError(errs); err != nil {
-		for i, w := range s.Workers {
-			if errs[i] == nil {
-				w.Close() //nolint:errcheck — unwinding a failed Open
-			}
-		}
+		closeAfterOpen(errs, func(i int) error { return s.Workers[i].Close() })
 		return err
 	}
 	for i, w := range s.Workers {
@@ -620,9 +642,18 @@ func (s *ParallelSort) Close() error {
 // ---------------------------------------------------------------------------
 // Shared helpers
 
+// errWorkerPanic marks an Open "error" that was really a recovered
+// worker panic: unlike an ordinary failed Open (which unwinds itself,
+// the engine-wide convention), a panicked Open may strand partial state
+// behind it, so closeAfterOpen gives such workers a guarded Close.
+var errWorkerPanic = errors.New("worker panicked")
+
 // openConcurrently runs n Opens on their own goroutines and returns the
 // per-worker errors after all complete. The WaitGroup barrier also
 // publishes every worker's drained state to the coordinator goroutine.
+// A panicking Open is recovered into an errWorkerPanic-wrapped error so
+// one crashing replica degrades into a query error, not a process
+// crash.
 func openConcurrently(n int, open func(i int) error) []error {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -630,11 +661,37 @@ func openConcurrently(n int, open func(i int) error) []error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					obs.PanicsRecovered.Inc()
+					errs[i] = fmt.Errorf("%w in Open: %v", errWorkerPanic, p)
+				}
+			}()
 			errs[i] = open(i)
 		}(i)
 	}
 	wg.Wait()
 	return errs
+}
+
+// closeAfterOpen unwinds the workers of a concurrent Open in which at
+// least one failed: workers that opened cleanly get a normal Close,
+// workers whose Open panicked get a guarded Close (releasing what their
+// half-built state still holds without risking a secondary panic), and
+// workers that returned an ordinary error get nothing — a failed Open
+// unwound itself.
+func closeAfterOpen(errs []error, close func(i int) error) {
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			close(i) //nolint:errcheck — unwinding a failed Open
+		case errors.Is(err, errWorkerPanic):
+			func() {
+				defer func() { _ = recover() }()
+				close(i) //nolint:errcheck — unwinding a panicked Open
+			}()
+		}
+	}
 }
 
 func firstError(errs []error) error {

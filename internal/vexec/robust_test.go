@@ -1,0 +1,58 @@
+package vexec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestOpenConcurrentlyRecoversPanics: a panicking worker Open must come
+// back as an errWorkerPanic-wrapped error, not crash the process.
+func TestOpenConcurrentlyRecoversPanics(t *testing.T) {
+	errs := openConcurrently(3, func(i int) error {
+		switch i {
+		case 0:
+			return nil
+		case 1:
+			return fmt.Errorf("plain failure")
+		default:
+			panic("worker exploded")
+		}
+	})
+	if errs[0] != nil {
+		t.Fatalf("worker 0: %v, want nil", errs[0])
+	}
+	if errs[1] == nil || errors.Is(errs[1], errWorkerPanic) {
+		t.Fatalf("worker 1: %v, want a plain error", errs[1])
+	}
+	if !errors.Is(errs[2], errWorkerPanic) {
+		t.Fatalf("worker 2: %v, want an errWorkerPanic wrapper", errs[2])
+	}
+}
+
+// TestCloseAfterOpen: unwinding a failed concurrent Open closes exactly
+// the workers that opened (normal Close) or panicked (guarded Close —
+// a second panic from the half-built subtree is swallowed); a worker
+// whose Open returned an ordinary error unwound itself and gets
+// nothing.
+func TestCloseAfterOpen(t *testing.T) {
+	errs := []error{
+		nil,
+		fmt.Errorf("plain failure"),
+		fmt.Errorf("%w in Open: boom", errWorkerPanic),
+	}
+	closed := make([]bool, len(errs))
+	closeAfterOpen(errs, func(i int) error {
+		closed[i] = true
+		if i == 2 {
+			panic("secondary crash during cleanup")
+		}
+		return nil
+	})
+	want := []bool{true, false, true}
+	for i := range want {
+		if closed[i] != want[i] {
+			t.Errorf("worker %d closed = %v, want %v", i, closed[i], want[i])
+		}
+	}
+}

@@ -15,9 +15,11 @@ package wire
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
+	"perm/internal/obs"
 	"perm/internal/types"
 )
 
@@ -53,10 +55,39 @@ type Request struct {
 	Name string `json:"name,omitempty"` // prepared-statement name (PREPARE/EXECUTE), option name (SET)
 }
 
+// Error codes carried by Response.Code on failure frames. The engine
+// codes mirror obs (cancellation, statement timeout); the server codes
+// describe the service itself. Clients switch on the code — never on
+// message text — to decide whether an operation is worth retrying.
+const (
+	CodeCancelled = obs.CodeCancelled // query cancelled by explicit request
+	CodeTimeout   = obs.CodeTimeout   // query exceeded its statement timeout
+
+	// CodeOverloaded: the server's worker slots and admission queue are
+	// full; the request was shed without being executed. Retry after
+	// backing off.
+	CodeOverloaded = "overloaded"
+	// CodeDraining: the server is shutting down and no longer accepts
+	// work; the request was not executed. Retry against another server
+	// (or the same one after it restarts).
+	CodeDraining = "draining"
+	// CodeInternal: the statement crashed inside the engine (a recovered
+	// panic). The statement did not complete; the connection survives.
+	CodeInternal = "internal"
+)
+
+// Retryable reports whether a response code marks a request the server
+// rejected without executing it — safe to retry verbatim, even for
+// non-idempotent statements.
+func Retryable(code string) bool {
+	return code == CodeOverloaded || code == CodeDraining
+}
+
 // Response is the server's answer to one Request.
 type Response struct {
-	OK  bool   `json:"ok"`
-	Err string `json:"err,omitempty"` // set when !OK
+	OK   bool   `json:"ok"`
+	Err  string `json:"err,omitempty"`  // set when !OK
+	Code string `json:"code,omitempty"` // machine-readable error class, see Code* consts
 
 	// Result payload (QUERY/EXECUTE; Plan for EXPLAIN).
 	Columns  []string        `json:"columns,omitempty"`
@@ -137,7 +168,19 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	return &resp, nil
 }
 
-// ErrorResponse builds the failure Response for err.
+// ErrorResponse builds the failure Response for err, carrying the
+// engine's structured error code when err is (or wraps) one.
 func ErrorResponse(err error) *Response {
-	return &Response{Err: err.Error()}
+	resp := &Response{Err: err.Error()}
+	var qe *obs.QueryError
+	if errors.As(err, &qe) {
+		resp.Code = qe.Code
+	}
+	return resp
+}
+
+// ErrorResponseCode builds a failure Response with an explicit
+// server-level code (overloaded, draining, internal).
+func ErrorResponseCode(code, msg string) *Response {
+	return &Response{Err: msg, Code: code}
 }

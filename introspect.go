@@ -117,6 +117,9 @@ type queryRun struct {
 	norm  string
 	start time.Time
 	span  int
+	// timer is the armed statement-timeout deadline (nil when the handle
+	// has no timeout configured); finish stops it.
+	timer *time.Timer
 }
 
 // beginQuery registers a statement with the engine: allocates its query
@@ -143,7 +146,20 @@ func (db *Database) beginQuery(text string) *queryRun {
 	}
 	trace := eng.tracer.Sample(db.traceEvery, id, fp, text, start)
 	eng.activity.Register(aq)
-	return &queryRun{db: db, aq: aq, trace: trace, norm: norm, start: start, span: -1}
+	qr := &queryRun{db: db, aq: aq, trace: trace, norm: norm, start: start, span: -1}
+	if d := db.stmtTimeout; d > 0 {
+		// The deadline rides the cooperative cancellation path: it only
+		// flips the query's cancel flag, which executors observe at the
+		// next batch boundary. CancelTimeout reports whether this timer
+		// won the race against an explicit CANCEL, so the counter ticks
+		// once per statement actually terminated by timeout.
+		qr.timer = time.AfterFunc(d, func() {
+			if aq.CancelTimeout(d) {
+				obs.StatementTimeouts.Inc()
+			}
+		})
+	}
+	return qr
 }
 
 // phase publishes the statement's pipeline phase and, when tracing,
@@ -174,6 +190,9 @@ func (qr *queryRun) activeQuery() *obs.ActiveQuery {
 func (qr *queryRun) finish(err error) {
 	if qr == nil {
 		return
+	}
+	if qr.timer != nil {
+		qr.timer.Stop()
 	}
 	qr.trace.End(qr.span)
 	eng := qr.db.eng

@@ -284,6 +284,7 @@ func TestCancelLongQuery(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			leakCheck(t)
 			opts := tc.opts
 			opts.SpillDir = t.TempDir()
 			db := perm.NewDatabaseWithOptions(opts)

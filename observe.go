@@ -140,7 +140,7 @@ func (db *Database) QueryCached(text string) bool {
 
 // EngineVersion identifies the engine build in perm_build_info and the
 // permd banner.
-const EngineVersion = "0.8.0"
+const EngineVersion = "0.9.0"
 
 // Metrics returns a registry exposing the engine's metric families in
 // the Prometheus text format: compiled-query cache traffic, memory
@@ -195,6 +195,11 @@ func (db *Database) buildMetrics() *obs.Registry {
 	r.CounterVar("perm_parallel_plans_total", "Queries planned with a parallel operator.", "", &obs.ParallelPlans)
 	r.CounterVar("perm_parallel_workers_total", "Workers launched by parallel plans.", "", &obs.ParallelWorkers)
 	r.CounterVar("perm_parallel_serial_fallbacks_total", "Parallel sites that fell back to serial execution.", "", &obs.SerialFallbacks)
+
+	r.CounterVar("perm_panics_recovered_total", "Query panics caught and converted to errors.", "", &obs.PanicsRecovered)
+	r.CounterVar("perm_statement_timeouts_total", "Statements terminated by their statement timeout.", "", &obs.StatementTimeouts)
+	r.CounterVar("perm_conns_shed_total", "Requests and connections shed by admission control.", "", &obs.ConnsShed)
+	r.CounterVar("perm_client_retries_total", "Automatic request retries by in-process permclient instances.", "", &obs.ClientRetries)
 
 	r.GaugeVar("perm_sessions_active", "Sessions currently open.", "", &obs.SessionsActive)
 	r.GaugeVar("perm_prepared_statements", "Prepared statements currently held by sessions.", "", &obs.PreparedStatements)

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"perm/internal/algebra"
 	"perm/internal/analyze"
@@ -76,7 +77,11 @@ type Database struct {
 	eng        *engineCore
 	sessionID  int64
 	traceEvery int
-	lastQ      atomic.Pointer[QueryInfo]
+	// stmtTimeout is the resolved statement timeout (0 = none); every
+	// statement this handle begins arms a deadline that triggers the
+	// cooperative cancellation path.
+	stmtTimeout time.Duration
+	lastQ       atomic.Pointer[QueryInfo]
 }
 
 // Options configure a Database.
@@ -148,11 +153,48 @@ type Options struct {
 	// and falls back to off; a negative value is explicitly off; 1
 	// traces every query.
 	TraceSample int
+
+	// StatementTimeout bounds how long any single statement this handle
+	// runs may execute. A statement past its deadline is cancelled
+	// through the same cooperative path CANCEL uses (observed at batch
+	// boundaries, so spilling and parallel segments unwind cleanly) and
+	// its issuer receives a structured timeout error carrying the query
+	// ID. 0 consults the PERM_STATEMENT_TIMEOUT environment variable
+	// (a Go duration, e.g. "30s") and falls back to no timeout; a
+	// negative value is explicitly no timeout.
+	StatementTimeout time.Duration
 }
 
 // envLimitWarn makes sure a malformed PERM_MEMORY_LIMIT is reported
 // exactly once instead of silently disarming the governor.
 var envLimitWarn sync.Once
+
+// envTimeoutWarn makes sure a malformed PERM_STATEMENT_TIMEOUT is
+// reported exactly once.
+var envTimeoutWarn sync.Once
+
+// effectiveStatementTimeout resolves the statement timeout: an explicit
+// positive timeout wins, negative means no timeout, and 0 defers to the
+// PERM_STATEMENT_TIMEOUT environment variable.
+func effectiveStatementTimeout(opts Options) time.Duration {
+	switch {
+	case opts.StatementTimeout > 0:
+		return opts.StatementTimeout
+	case opts.StatementTimeout < 0:
+		return 0
+	}
+	if s := os.Getenv("PERM_STATEMENT_TIMEOUT"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			envTimeoutWarn.Do(func() {
+				fmt.Fprintf(os.Stderr, "perm: ignoring invalid PERM_STATEMENT_TIMEOUT: %q\n", s)
+			})
+			return 0
+		}
+		return d
+	}
+	return 0
+}
 
 // effectiveMemoryLimit resolves the session memory limit: an explicit
 // positive limit wins, negative means unlimited, and 0 defers to the
@@ -189,15 +231,16 @@ func NewDatabaseWithOptions(opts Options) *Database {
 	gov := mem.NewGovernor(0)
 	eng := newEngineCore()
 	db := &Database{
-		cat:        catalog.New(),
-		opts:       opts,
-		cache:      qcache.New(opts.QueryCacheSize),
-		optsKey:    optionsFingerprint(opts),
-		gov:        gov,
-		budget:     gov.Session(effectiveMemoryLimit(opts)),
-		eng:        eng,
-		sessionID:  eng.sessionSeq.Add(1),
-		traceEvery: effectiveTraceSample(opts),
+		cat:         catalog.New(),
+		opts:        opts,
+		cache:       qcache.New(opts.QueryCacheSize),
+		optsKey:     optionsFingerprint(opts),
+		gov:         gov,
+		budget:      gov.Session(effectiveMemoryLimit(opts)),
+		eng:         eng,
+		sessionID:   eng.sessionSeq.Add(1),
+		traceEvery:  effectiveTraceSample(opts),
+		stmtTimeout: effectiveStatementTimeout(opts),
 	}
 	registerSystemViews(db)
 	return db
@@ -229,14 +272,15 @@ func (db *Database) WithOptionsSameSession(opts Options) *Database {
 
 func (db *Database) withOptions(opts Options) *Database {
 	return &Database{
-		cat:        db.cat,
-		opts:       opts,
-		cache:      db.cache,
-		optsKey:    optionsFingerprint(opts),
-		gov:        db.gov,
-		budget:     db.gov.Session(effectiveMemoryLimit(opts)),
-		eng:        db.eng,
-		traceEvery: effectiveTraceSample(opts),
+		cat:         db.cat,
+		opts:        opts,
+		cache:       db.cache,
+		optsKey:     optionsFingerprint(opts),
+		gov:         db.gov,
+		budget:      db.gov.Session(effectiveMemoryLimit(opts)),
+		eng:         db.eng,
+		traceEvery:  effectiveTraceSample(opts),
+		stmtTimeout: effectiveStatementTimeout(opts),
 	}
 }
 

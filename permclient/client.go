@@ -10,19 +10,65 @@ package permclient
 
 import (
 	"bufio"
-	"fmt"
+	"errors"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"perm"
+	"perm/internal/obs"
 	"perm/internal/wire"
 )
+
+// Config tunes a client's resilience behavior. The zero value matches
+// the pre-Config client: 10s dial timeout, no read/write deadlines, no
+// automatic retries.
+type Config struct {
+	// DialTimeout bounds connection establishment (0: 10 seconds).
+	DialTimeout time.Duration
+	// ReadTimeout bounds each response read and WriteTimeout each
+	// request write (0: no deadline). A read timeout must exceed the
+	// longest query the client expects to run.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// MaxRetries bounds automatic retries per request (0: no retries).
+	// A request the server shed without executing (Error.Retryable:
+	// overloaded, draining) is retried verbatim on the same connection.
+	// A request whose fate a network failure left unknown is retried
+	// only when its operation is idempotent (Query, Explain, Ping), on
+	// a fresh connection — which is a new server session, so prior SETs
+	// and prepared statements do not carry over.
+	MaxRetries int
+	// RetryBase and RetryMax shape the exponential backoff between
+	// retries (defaults: 50ms base, 2s cap), jittered ±50% so a herd of
+	// shed clients does not re-arrive in lockstep.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+// Error is a structured server-reported failure: the machine-readable
+// code from the response frame (may be empty) and the human-readable
+// message.
+type Error struct {
+	Code string
+	Msg  string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Retryable reports whether the server rejected the request without
+// executing it (overloaded, draining) — safe to retry verbatim, even
+// for non-idempotent statements.
+func (e *Error) Retryable() bool { return wire.Retryable(e.Code) }
 
 // Client is one connection to a permd server. It is safe for concurrent
 // use; requests are serialized on the connection (one in flight at a
 // time), matching the server's per-connection session semantics.
 type Client struct {
+	addr string
+	cfg  Config
+
 	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
@@ -31,16 +77,44 @@ type Client struct {
 
 // Dial connects to a permd server.
 func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 10*time.Second)
+	return DialConfig(addr, Config{})
 }
 
 // DialTimeout connects with a dial timeout.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
+	return DialConfig(addr, Config{DialTimeout: timeout})
+}
+
+// DialConfig connects with explicit timeout and retry configuration.
+func DialConfig(addr string, cfg Config) (*Client, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	c := &Client{addr: addr, cfg: cfg}
+	if err := c.redial(); err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return c, nil
+}
+
+// redial (re)establishes the connection. Caller holds c.mu (or owns the
+// client exclusively, as DialConfig does).
+func (c *Client) redial() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	if c.conn != nil {
+		c.conn.Close() //nolint:errcheck
+	}
+	c.conn, c.r, c.w = conn, bufio.NewReader(conn), bufio.NewWriter(conn)
+	return nil
 }
 
 // Close closes the connection (the server drops the session, including
@@ -51,22 +125,85 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// roundTrip sends one request and reads its response.
+// idempotent reports whether an operation is safe to re-send when a
+// network failure leaves its fate unknown: the server may have executed
+// it, so only operations without side effects qualify.
+func idempotent(op string) bool {
+	switch op {
+	case wire.OpQuery, wire.OpExplain, wire.OpExplainAnalyze, wire.OpPing:
+		return true
+	}
+	return false
+}
+
+// backoff returns the pause before the next retry: exponential from
+// RetryBase, capped at RetryMax, jittered to 50–100% of the nominal
+// delay.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.RetryBase << uint(attempt)
+	if d <= 0 || d > c.cfg.RetryMax {
+		d = c.cfg.RetryMax
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// roundTrip sends one request and reads its response, retrying per the
+// client's Config.
 func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		resp, err := c.once(req)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return nil, err
+		}
+		var se *Error
+		switch {
+		case errors.As(err, &se):
+			// The server answered: only codes marking the request as
+			// shed without execution are retried. The connection and its
+			// session are intact.
+			if !se.Retryable() {
+				return nil, err
+			}
+		case idempotent(req.Op):
+			// Network failure mid-exchange; the connection is desynced,
+			// so retry on a fresh one. A failed redial leaves the dead
+			// connection in place and the next attempt fails fast.
+			c.redial() //nolint:errcheck
+		default:
+			return nil, err
+		}
+		obs.ClientRetries.Inc()
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// once performs a single request/response exchange under the configured
+// deadlines.
+func (c *Client) once(req *wire.Request) (*wire.Response, error) {
+	if d := c.cfg.WriteTimeout; d > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck
+	}
 	if err := wire.WriteFrame(c.w, req); err != nil {
 		return nil, err
 	}
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
+	if d := c.cfg.ReadTimeout; d > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck
+	}
 	resp, err := wire.ReadResponse(c.r)
 	if err != nil {
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("%s", resp.Err)
+		return nil, &Error{Code: resp.Code, Msg: resp.Err}
 	}
 	return resp, nil
 }
