@@ -9,12 +9,15 @@
 //
 // Alongside the timings, the report embeds a post-run snapshot of the
 // engine metrics (memory grants/denials, morsel dispatch, per-config
-// cache traffic and spill volume), so a perf diff can also see how the
-// work was done, not just how long it took.
+// cache traffic and spill volume) and the five worst cardinality
+// misestimates the workload produced (per-fingerprint max q-error with
+// the offending operator), so a perf diff can also see how the work was
+// done — and where the planner's estimates drifted — not just how long
+// it took.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -sf 0.002 -runs 10 -parallelism 4 -out BENCH_PR7.json
+//	go run ./cmd/benchjson -sf 0.002 -runs 10 -parallelism 4 -out BENCH_PR10.json
 package main
 
 import (
@@ -57,7 +60,20 @@ type Report struct {
 	NumCPU      int             `json:"num_cpu"`      // cores available to the measurement
 	GoVersion   string          `json:"go_version"`
 	Queries     []Entry         `json:"queries"`
-	Metrics     MetricsSnapshot `json:"metrics"` // post-run engine counters
+	Metrics     MetricsSnapshot `json:"metrics"`     // post-run engine counters
+	TopQErrors  []QErrEntry     `json:"top_qerrors"` // 5 worst misestimates, worst first
+}
+
+// QErrEntry is one fingerprint's worst cardinality misestimate, as
+// accumulated by the base config's estimate store from one untimed
+// EXPLAIN ANALYZE execution per benchmark query.
+type QErrEntry struct {
+	Fingerprint string  `json:"fingerprint"`
+	Query       string  `json:"query"`
+	MaxQErr     float64 `json:"max_qerr"`
+	WorstOp     string  `json:"worst_op"`
+	WorstEst    float64 `json:"worst_est"`
+	WorstAct    int64   `json:"worst_act"`
 }
 
 // MetricsSnapshot is the post-run engine observability state: the
@@ -152,6 +168,12 @@ func bestOfPaired(configs []config, q tpch.Query, runs int) ([]time.Duration, in
 			}
 		}
 	}
+	// One untimed instrumented run on the base config feeds the
+	// per-fingerprint q-error store the report's top_qerrors come from
+	// (plain timed runs are never instrumented).
+	if _, err := configs[0].db.ExplainAnalyzeSQL(q.Text); err != nil {
+		return nil, 0, fmt.Errorf("[%s] analyze: %v", configs[0].name, err)
+	}
 	return best, rows, nil
 }
 
@@ -159,7 +181,7 @@ func main() {
 	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
 	runs := flag.Int("runs", 10, "runs per query per config (best is kept)")
 	seed := flag.Uint64("seed", 42, "data generator seed")
-	out := flag.String("out", "BENCH_PR7.json", "output file")
+	out := flag.String("out", "BENCH_PR10.json", "output file")
 	budget := flag.String("spill-budget", "4MiB", "session memory budget of the spill config")
 	paraN := flag.Int("parallelism", 4, "worker count of the parallel config")
 	flag.Parse()
@@ -235,6 +257,16 @@ func main() {
 	}
 
 	rep.Metrics = snapshotMetrics(configs)
+	for _, r := range configs[0].db.TopMisestimates(5) {
+		rep.TopQErrors = append(rep.TopQErrors, QErrEntry{
+			Fingerprint: r.Fingerprint,
+			Query:       r.Query,
+			MaxQErr:     round2(r.MaxQErr),
+			WorstOp:     r.WorstOp,
+			WorstEst:    r.WorstEst,
+			WorstAct:    r.WorstAct,
+		})
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -15,8 +15,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -27,10 +29,28 @@ import (
 
 	"perm"
 	"perm/internal/mem"
+	"perm/internal/obs"
 	"perm/internal/server"
 	"perm/internal/spill"
 	"perm/internal/tpch"
 )
+
+// streamEvents tails the engine event log to w as one JSON object per
+// line. The log is a bounded ring with monotone sequence numbers, so the
+// streamer polls Since(lastSeq) — events recorded between polls are
+// picked up in order, and a full ring turnover at most drops the
+// overwritten middle, never reorders.
+func streamEvents(w io.Writer, every time.Duration) {
+	enc := json.NewEncoder(w)
+	var last int64
+	for {
+		for _, e := range obs.Events.Since(last) {
+			last = e.Seq
+			enc.Encode(e) //nolint:errcheck — stderr never rejects
+		}
+		time.Sleep(every)
+	}
+}
 
 // serveTelemetry exposes the observability endpoints on their own
 // listener (kept off the query port so scrapes never compete with the
@@ -86,6 +106,7 @@ func main() {
 		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address (empty = disabled)")
 		slowMS   = flag.Int("slow-query-ms", -1, "log statements slower than this many milliseconds as JSON lines on stderr (0 = every statement, negative = disabled)")
+		eventLog = flag.Bool("event-log", false, "stream engine events (plan flips, spill onset, timeouts, cancellations, shedding, panics) as JSON lines on stderr")
 	)
 	flag.Parse()
 
@@ -149,6 +170,9 @@ func main() {
 	}
 	if *metrics != "" {
 		go serveTelemetry(*metrics, db, srv)
+	}
+	if *eventLog {
+		go streamEvents(os.Stderr, 250*time.Millisecond)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()

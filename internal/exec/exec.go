@@ -46,8 +46,15 @@ func Collect(n Node) ([]types.Row, error) {
 // Scan iterates over a materialized row slice (base-table snapshots and
 // VALUES lists).
 type Scan struct {
+	obs.Card
 	Rows []types.Row
-	pos  int
+	// Table names the relation this scan reads ("" for VALUES rows and
+	// other anonymous sources). It is not rendered in EXPLAIN; the plan
+	// hash folds it in so plans differing only in which equally-sized
+	// relation sits where (e.g. a hash-join build-side swap) still hash
+	// differently.
+	Table string
+	pos   int
 
 	// aq, when set, is polled for cooperative cancellation once per
 	// cancelStride rows — the row engine's equivalent of a batch
@@ -89,6 +96,7 @@ func (s *Scan) Close() error { return nil }
 
 // Filter emits input rows whose predicate evaluates to TRUE.
 type Filter struct {
+	obs.Card
 	Input Node
 	Pred  eval.Func
 	ctx   eval.Ctx
@@ -125,6 +133,7 @@ func (f *Filter) Close() error { return f.Input.Close() }
 
 // Project computes output expressions over input rows.
 type Project struct {
+	obs.Card
 	Input Node
 	Exprs []eval.Func
 	ctx   eval.Ctx
@@ -174,6 +183,7 @@ const (
 // input is materialized at Open. Cond is evaluated over the concatenated
 // row; a nil Cond means cross join.
 type NestedLoopJoin struct {
+	obs.Card
 	Left, Right Node
 	Cond        eval.Func
 	Type        JoinType
@@ -282,6 +292,7 @@ func (j *NestedLoopJoin) Close() error {
 // match), which the provenance rewriter's join-back conditions require.
 // Residual is an extra condition over the concatenated row.
 type HashJoin struct {
+	obs.Card
 	Left, Right Node
 	LeftKeys    []eval.Func
 	RightKeys   []eval.Func
@@ -480,6 +491,7 @@ type AggSpec struct {
 // aggregate results. With no group expressions the aggregate is global:
 // exactly one output row, even for empty input.
 type HashAgg struct {
+	obs.Card
 	Input  Node
 	Groups []eval.Func
 	Aggs   []AggSpec
@@ -684,6 +696,7 @@ type SortKey struct {
 // merged order is identical to the in-memory stable sort's because runs
 // hold consecutive input segments and ties resolve to the earlier run.
 type Sort struct {
+	obs.Card
 	Input Node
 	Keys  []SortKey
 	Spill spill.Resources
@@ -975,6 +988,7 @@ func (m *rowRunMerger) next() (types.Row, error) {
 // Limit emits at most Count rows after skipping Offset rows. A negative
 // Count means no limit.
 type Limit struct {
+	obs.Card
 	Input   Node
 	Count   int64
 	Offset  int64
@@ -1015,6 +1029,7 @@ func (l *Limit) Close() error { return l.Input.Close() }
 
 // Distinct removes duplicate rows (null-safe row equality).
 type Distinct struct {
+	obs.Card
 	Input Node
 	seen  map[uint64][]types.Row
 }
@@ -1072,6 +1087,7 @@ const (
 // INTERSECT ALL takes the minimum, EXCEPT ALL subtracts; the set variants
 // apply DISTINCT projection to the multiset result.
 type SetOp struct {
+	obs.Card
 	Left, Right Node
 	Kind        SetOpKind
 	All         bool

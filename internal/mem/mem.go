@@ -303,7 +303,11 @@ func (r *Reservation) NoteSpill(bytes int64) {
 		return
 	}
 	r.spillBytes.Add(bytes)
-	r.spillEvents.Add(1)
+	if r.spillEvents.Add(1) == 1 {
+		// Spill onset — the first run/partition this operator writes — is
+		// an engine event; subsequent writes only move the counters.
+		obs.Events.Record(obs.EventSpill, "", "", r.op+" began spilling")
+	}
 	r.b.c.noteSpill(bytes)
 	r.b.gov.c.noteSpill(bytes)
 }

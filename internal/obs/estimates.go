@@ -1,0 +1,156 @@
+// Per-fingerprint cardinality-misestimation statistics — the data behind
+// the perm_stat_estimates system table. Every EXPLAIN ANALYZE execution
+// harvests (operator, estimated rows, actual rows) triples from the
+// instrumented plan and feeds them here; the store keeps, per statement
+// fingerprint, the worst q-error ever observed and which operator
+// produced it, so "find my worst misestimate" is one ORDER BY away.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultEstStoreCapacity bounds how many distinct fingerprints the
+// estimate store tracks before evicting the least-recently-fed one.
+const DefaultEstStoreCapacity = 512
+
+// OpEst is one operator's (estimate, actual) pair as harvested from an
+// instrumented plan.
+type OpEst struct {
+	Op      string // operator label, e.g. "VecHashJoin"
+	EstRows float64
+	ActRows int64
+}
+
+// EstRecord is the accumulated misestimation profile of one statement
+// fingerprint.
+type EstRecord struct {
+	Fingerprint string
+	Query       string // normalized statement text
+	Analyzed    int64  // instrumented executions feeding this record
+	Ops         int64  // operator estimates observed in total
+	MaxQErr     float64
+	SumQErr     float64 // sum of per-execution worst q-errors (for the mean)
+	WorstOp     string  // operator that produced MaxQErr
+	WorstEst    float64 // its estimated rows
+	WorstAct    int64   // its actual rows
+	LastSeen    time.Time
+
+	lastUsed int64 // monotonic use tick, for LRU eviction
+}
+
+// MeanQErr returns the mean of the per-execution worst q-errors.
+func (r *EstRecord) MeanQErr() float64 {
+	if r.Analyzed == 0 {
+		return 0
+	}
+	return r.SumQErr / float64(r.Analyzed)
+}
+
+// EstStore aggregates per-fingerprint misestimation statistics. Updates
+// arrive once per instrumented execution (never per row), so a mutex
+// around a map is cheap relative to the ANALYZE that produced the data.
+type EstStore struct {
+	mu   sync.Mutex
+	m    map[string]*EstRecord
+	cap  int
+	tick int64
+}
+
+// NewEstStore returns a store tracking up to capacity fingerprints
+// (<= 0: DefaultEstStoreCapacity).
+func NewEstStore(capacity int) *EstStore {
+	if capacity <= 0 {
+		capacity = DefaultEstStoreCapacity
+	}
+	return &EstStore{m: make(map[string]*EstRecord, 16), cap: capacity}
+}
+
+// Observe folds one instrumented execution's operator estimates into the
+// fingerprint's record. Operators without an estimate (EstRows == 0) are
+// ignored; an execution where no operator carried an estimate is not
+// counted.
+func (s *EstStore) Observe(fingerprint, normalized string, ops []OpEst) {
+	var worst float64
+	var worstOp OpEst
+	var seen int64
+	for _, o := range ops {
+		q := QError(o.EstRows, o.ActRows)
+		if q == 0 {
+			continue
+		}
+		seen++
+		if q > worst {
+			worst = q
+			worstOp = o
+		}
+	}
+	if seen == 0 {
+		return
+	}
+	s.mu.Lock()
+	r, ok := s.m[fingerprint]
+	if !ok {
+		if len(s.m) >= s.cap {
+			s.evictLocked()
+		}
+		r = &EstRecord{Fingerprint: fingerprint, Query: normalized}
+		s.m[fingerprint] = r
+	}
+	s.tick++
+	r.lastUsed = s.tick
+	r.Analyzed++
+	r.Ops += seen
+	r.SumQErr += worst
+	if worst > r.MaxQErr {
+		r.MaxQErr = worst
+		r.WorstOp = worstOp.Op
+		r.WorstEst = worstOp.EstRows
+		r.WorstAct = worstOp.ActRows
+	}
+	r.LastSeen = time.Now()
+	s.mu.Unlock()
+}
+
+// evictLocked drops the least-recently-fed fingerprint (ties broken by
+// fingerprint for determinism).
+func (s *EstStore) evictLocked() {
+	var victim string
+	var oldest int64 = -1
+	for fp, r := range s.m {
+		if oldest < 0 || r.lastUsed < oldest || (r.lastUsed == oldest && fp < victim) {
+			oldest = r.lastUsed
+			victim = fp
+		}
+	}
+	if victim != "" {
+		delete(s.m, victim)
+	}
+}
+
+// Len reports how many fingerprints are tracked.
+func (s *EstStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Snapshot returns copies of every tracked record, worst q-error first
+// (ties broken by fingerprint for stable output).
+func (s *EstStore) Snapshot() []EstRecord {
+	s.mu.Lock()
+	out := make([]EstRecord, 0, len(s.m))
+	for _, r := range s.m {
+		out = append(out, *r)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxQErr != out[j].MaxQErr {
+			return out[i].MaxQErr > out[j].MaxQErr
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}

@@ -160,6 +160,14 @@ var (
 	StatementTimeouts Counter
 	ConnsShed         Counter
 	ClientRetries     Counter
+
+	// Plan-health counters: PlanFlips counts recompilations where a
+	// statement fingerprint's physical plan hash changed (stats drift,
+	// catalog bump, SET change); StmtEvictions counts fingerprints
+	// dropped from the perm_stat_statements registry under capacity
+	// pressure.
+	PlanFlips     Counter
+	StmtEvictions Counter
 )
 
 // ---------------------------------------------------------------------------
@@ -180,6 +188,49 @@ type OpStats struct {
 // TotalNS returns the operator's total wall time (including children —
 // probes time the call, not the self-cost).
 func (s *OpStats) TotalNS() int64 { return s.OpenNS + s.NextNS + s.CloseNS }
+
+// ---------------------------------------------------------------------------
+// Card: the planner's cardinality estimate, carried on the operator
+
+// Card is embedded in every physical operator (row and vectorized) and
+// holds the planner's estimated output row count for that operator. The
+// planner fills it at construction time from the same fragment estimates
+// that drive join ordering; EXPLAIN ANALYZE reads it back next to the
+// probe's actual row count to render est/act/q-error. A zero EstRows
+// means "no estimate" (operators synthesized outside the cost model) and
+// is skipped by the renderer. Plain field, written once at plan time,
+// read only by instrumentation — never touched on the execution hot
+// path.
+type Card struct {
+	EstRows float64
+}
+
+// SetEstRows records the planner's estimate.
+func (c *Card) SetEstRows(n float64) { c.EstRows = n }
+
+// EstimatedRows returns the recorded estimate (0 = none).
+func (c *Card) EstimatedRows() float64 { return c.EstRows }
+
+// QError returns the q-error of an estimate against an actual row count:
+// max(est/act, act/est) with both sides clamped to at least one row, the
+// standard symmetric misestimation factor (1.0 = perfect). Returns 0
+// when there is no estimate.
+func QError(est float64, act int64) float64 {
+	if est <= 0 {
+		return 0
+	}
+	e, a := est, float64(act)
+	if e < 1 {
+		e = 1
+	}
+	if a < 1 {
+		a = 1
+	}
+	if e > a {
+		return e / a
+	}
+	return a / e
+}
 
 // ---------------------------------------------------------------------------
 // Registry

@@ -1,0 +1,240 @@
+// Plan-flip history — the data behind the perm_stat_plans system table
+// and the perm_plan_flips_total counter. The engine reports every fresh
+// compilation's physical plan hash here, keyed by the statement's
+// normalized fingerprint; when the same fingerprint compiles to a
+// different hash (stats drift after DML, a catalog bump, a SET options
+// change) the store records the flip — before/after hashes, what
+// triggered it, and enough latency baseline to compute the delta the
+// flip caused — into a fixed-size ring.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultPlanStoreCapacity bounds how many distinct fingerprints the
+// plan store tracks; DefaultPlanFlipRing bounds how many flips the
+// history ring retains.
+const (
+	DefaultPlanStoreCapacity = 512
+	DefaultPlanFlipRing      = 256
+)
+
+// Flip triggers, classified from what changed between the two
+// compilations of the same fingerprint.
+const (
+	FlipTriggerCatalog = "catalog" // catalog version moved (DDL/DML shifted stats)
+	FlipTriggerSet     = "set"     // session options (SET) changed the planning environment
+	FlipTriggerReplan  = "replan"  // same version and options, plan still differed
+)
+
+// planEntry is the live per-fingerprint plan state.
+type planEntry struct {
+	fingerprint string
+	query       string // normalized statement text
+	hash        uint64
+	catVersion  int64
+	optsKey     string
+	compiles    int64 // fresh compilations observed
+	flips       int64
+	calls       int64 // executions accounted via NoteExec
+	totalNS     int64
+	lastUsed    int64 // monotonic use tick, for LRU eviction
+}
+
+// PlanFlip is one recorded plan change. Latency fields are filled at
+// snapshot time: BeforeMeanNS is the fingerprint's mean latency over the
+// executions before the flip, AfterMeanNS over the executions since
+// (0 when none have completed yet).
+type PlanFlip struct {
+	At           time.Time
+	Fingerprint  string
+	Query        string
+	OldHash      uint64
+	NewHash      uint64
+	Trigger      string
+	Flips        int64 // total flips for this fingerprint, including this one
+	BeforeMeanNS int64
+	AfterMeanNS  int64
+}
+
+// flipRec is the ring's internal record; the after-side latency is
+// resolved against the live entry at snapshot time.
+type flipRec struct {
+	at           time.Time
+	fingerprint  string
+	query        string
+	oldHash      uint64
+	newHash      uint64
+	trigger      string
+	flipNo       int64
+	beforeMeanNS int64
+	baseCalls    int64 // entry.calls at flip time
+	baseTotalNS  int64 // entry.totalNS at flip time
+	entry        *planEntry
+}
+
+// PlanStore tracks the current physical plan per statement fingerprint
+// and the history of plan flips. One update per fresh compilation and
+// one per statement completion — never per row.
+type PlanStore struct {
+	mu   sync.Mutex
+	m    map[string]*planEntry
+	cap  int
+	tick int64
+
+	ring []flipRec
+	next int
+	n    int
+}
+
+// NewPlanStore returns a store tracking up to capacity fingerprints with
+// a flip ring of ringCap entries (<= 0: package defaults).
+func NewPlanStore(capacity, ringCap int) *PlanStore {
+	if capacity <= 0 {
+		capacity = DefaultPlanStoreCapacity
+	}
+	if ringCap <= 0 {
+		ringCap = DefaultPlanFlipRing
+	}
+	return &PlanStore{m: make(map[string]*planEntry, 16), cap: capacity, ring: make([]flipRec, ringCap)}
+}
+
+// ObservePlan records that fingerprint compiled to the given physical
+// plan hash at the given catalog version under the given options key.
+// When the fingerprint had previously compiled to a different hash it
+// records the flip and returns (previous hash, true); otherwise
+// (0, false).
+func (p *PlanStore) ObservePlan(fingerprint, normalized string, hash uint64, catVersion int64, optsKey string) (uint64, bool) {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.m[fingerprint]
+	if !ok {
+		if len(p.m) >= p.cap {
+			p.evictLocked()
+		}
+		e = &planEntry{fingerprint: fingerprint, query: normalized}
+		p.m[fingerprint] = e
+	} else if e.hash != hash && e.compiles > 0 {
+		e.flips++
+		trigger := FlipTriggerReplan
+		switch {
+		case catVersion != e.catVersion:
+			trigger = FlipTriggerCatalog
+		case optsKey != e.optsKey:
+			trigger = FlipTriggerSet
+		}
+		var beforeMean int64
+		if e.calls > 0 {
+			beforeMean = e.totalNS / e.calls
+		}
+		p.ring[p.next] = flipRec{
+			at:           now,
+			fingerprint:  fingerprint,
+			query:        e.query,
+			oldHash:      e.hash,
+			newHash:      hash,
+			trigger:      trigger,
+			flipNo:       e.flips,
+			beforeMeanNS: beforeMean,
+			baseCalls:    e.calls,
+			baseTotalNS:  e.totalNS,
+			entry:        e,
+		}
+		p.next = (p.next + 1) % len(p.ring)
+		if p.n < len(p.ring) {
+			p.n++
+		}
+		old := e.hash
+		p.bump(e)
+		e.hash = hash
+		e.catVersion = catVersion
+		e.optsKey = optsKey
+		e.compiles++
+		return old, true
+	}
+	p.bump(e)
+	e.hash = hash
+	e.catVersion = catVersion
+	e.optsKey = optsKey
+	e.compiles++
+	return 0, false
+}
+
+// NoteExec accounts one completed execution of the fingerprint, feeding
+// the latency baselines the flip ring's before/after means come from.
+// Unknown fingerprints (evicted, or executed from the compiled-query
+// cache before any fresh compile was observed) are ignored.
+func (p *PlanStore) NoteExec(fingerprint string, durNS int64) {
+	p.mu.Lock()
+	if e, ok := p.m[fingerprint]; ok {
+		e.calls++
+		e.totalNS += durNS
+		p.bump(e)
+	}
+	p.mu.Unlock()
+}
+
+func (p *PlanStore) bump(e *planEntry) {
+	p.tick++
+	e.lastUsed = p.tick
+}
+
+// evictLocked drops the least-recently-used fingerprint (ties broken by
+// fingerprint for determinism). Ring records keep their entry pointer —
+// a flip's after-latency freezes once its entry leaves the map.
+func (p *PlanStore) evictLocked() {
+	var victim string
+	var oldest int64 = -1
+	for fp, e := range p.m {
+		if oldest < 0 || e.lastUsed < oldest || (e.lastUsed == oldest && fp < victim) {
+			oldest = e.lastUsed
+			victim = fp
+		}
+	}
+	if victim != "" {
+		delete(p.m, victim)
+	}
+}
+
+// Flips returns the recorded plan flips, oldest first, with the
+// after-flip latency mean resolved against each flip's live entry.
+func (p *PlanStore) Flips() []PlanFlip {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PlanFlip, 0, p.n)
+	for i := 0; i < p.n; i++ {
+		r := &p.ring[(p.next-p.n+i+len(p.ring))%len(p.ring)]
+		f := PlanFlip{
+			At:           r.at,
+			Fingerprint:  r.fingerprint,
+			Query:        r.query,
+			OldHash:      r.oldHash,
+			NewHash:      r.newHash,
+			Trigger:      r.trigger,
+			Flips:        r.flipNo,
+			BeforeMeanNS: r.beforeMeanNS,
+		}
+		if calls := r.entry.calls - r.baseCalls; calls > 0 {
+			f.AfterMeanNS = (r.entry.totalNS - r.baseTotalNS) / calls
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// FlipCount reports how many flips are currently retained in the ring.
+func (p *PlanStore) FlipCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// Len reports how many fingerprints are tracked.
+func (p *PlanStore) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.m)
+}

@@ -100,20 +100,27 @@ func (s *StmtStats) Observe(fingerprint, normalized string, dur time.Duration, r
 	s.mu.Unlock()
 }
 
-// evictLocked drops the least-recently-executed fingerprint. A linear
-// scan over at most cap entries, and only on the (rare) insert that
-// crosses the cap — not worth an ordered index.
+// evictLocked drops the strictly least-recently-executed fingerprint
+// (ties — only possible among never-again-seen entries — broken by
+// fingerprint so eviction is deterministic, not map-iteration-order). A
+// hot fingerprint's statistics therefore survive any amount of one-off
+// neighbor churn: only the coldest entry ever leaves. A linear scan over
+// at most cap entries, and only on the (rare) insert that crosses the
+// cap — not worth an ordered index. Each eviction ticks the global
+// StmtEvictions counter (perm_stmt_evictions_total) so capacity
+// pressure is visible to operators.
 func (s *StmtStats) evictLocked() {
 	var victim string
 	var oldest int64 = -1
 	for fp, st := range s.m {
-		if oldest < 0 || st.lastUsed < oldest {
+		if oldest < 0 || st.lastUsed < oldest || (st.lastUsed == oldest && fp < victim) {
 			oldest = st.lastUsed
 			victim = fp
 		}
 	}
 	if victim != "" {
 		delete(s.m, victim)
+		StmtEvictions.Inc()
 	}
 }
 

@@ -261,10 +261,11 @@ func analyzeNode(n exec.Node, depth int, out *[]byte) {
 	if p, ok := n.(*exec.Probe); ok {
 		st, n = p.Stats, p.Input
 	}
+	est := estOf(n)
 	line := func(label string, extra ...string) {
 		*out = append(*out, indent(depth)...)
 		*out = append(*out, label...)
-		*out = append(*out, annot(st, false, extra)...)
+		*out = append(*out, annot(st, false, est, extra)...)
 		*out = append(*out, '\n')
 	}
 	switch x := n.(type) {
@@ -317,10 +318,11 @@ func analyzeVNode(n vexec.Node, depth int, out *[]byte) {
 	if p, ok := n.(*vexec.Probe); ok {
 		st, n = p.Stats, p.Input
 	}
+	est := estOf(n)
 	line := func(label string, extra ...string) {
 		*out = append(*out, indent(depth)...)
 		*out = append(*out, label...)
-		*out = append(*out, annot(st, true, extra)...)
+		*out = append(*out, annot(st, true, est, extra)...)
 		*out = append(*out, '\n')
 	}
 	switch x := n.(type) {
@@ -409,9 +411,11 @@ func analyzeVNode(n vexec.Node, depth int, out *[]byte) {
 }
 
 // annot renders the shared probe annotation: wall time, emitted rows,
-// and (vectorized) batches, plus any operator-specific extras. Nodes
-// without a probe (worker replica subtrees) still show their extras.
-func annot(st *obs.OpStats, vec bool, extra []string) string {
+// and (vectorized) batches, then the planner's cardinality estimate next
+// to the observed actual and their q-error, plus any operator-specific
+// extras. Nodes without a probe (worker replica subtrees) still show
+// their estimate and extras.
+func annot(st *obs.OpStats, vec bool, est float64, extra []string) string {
 	var parts []string
 	if st != nil {
 		parts = append(parts, "time="+fmtDur(st.TotalNS()), fmt.Sprintf("rows=%d", st.Rows))
@@ -419,11 +423,41 @@ func annot(st *obs.OpStats, vec bool, extra []string) string {
 			parts = append(parts, fmt.Sprintf("batches=%d", st.Batches))
 		}
 	}
+	if est > 0 {
+		parts = append(parts, fmt.Sprintf("est=%.0f", est))
+		if st != nil {
+			parts = append(parts, fmt.Sprintf("act=%d", st.Rows),
+				fmt.Sprintf("qerr=%.2f", obs.QError(est, st.Rows)))
+		}
+	}
 	parts = append(parts, extra...)
 	if len(parts) == 0 {
 		return ""
 	}
 	return " (actual " + strings.Join(parts, " ") + ")"
+}
+
+// estOf reads a node's planner cardinality estimate, looking through
+// probes, morsel taps and estimate-less batch→row adapters (the adapter
+// emits exactly what its input does). 0 means no estimate.
+func estOf(n interface{}) float64 {
+	switch x := n.(type) {
+	case *exec.Probe:
+		return estOf(x.Input)
+	case *vexec.Probe:
+		return estOf(x.Input)
+	case *vexec.MorselTap:
+		return estOf(x.Input)
+	case *vexec.RowSource:
+		if x.EstRows > 0 {
+			return x.EstRows
+		}
+		return estOf(x.Input)
+	}
+	if c, ok := n.(interface{ EstimatedRows() float64 }); ok {
+		return c.EstimatedRows()
+	}
+	return 0
 }
 
 // resAnnot renders a spill-capable operator's memory annotation from its

@@ -111,8 +111,16 @@ func (p *Planner) parallelize(q *algebra.Query, pl *planned) {
 		}
 		pn = vexec.NewParallelSort(sorts, drivers, srcs, disp)
 	}
+	// The parallel operator emits exactly what the serial site it
+	// replaces would have: carry the site's cardinality estimate over.
+	if c, ok := site.(interface{ EstimatedRows() float64 }); ok {
+		setEstNode(pn, c.EstimatedRows())
+	}
 	if depth == 0 {
 		p.setVNode(pl, pn)
+		if c, ok := pn.(interface{ EstimatedRows() float64 }); ok {
+			setEstNode(pl.node, c.EstimatedRows())
+		}
 		return
 	}
 	setWrapperChild(nthWrapperChild(pl.vnode, depth-1), pn)

@@ -161,6 +161,33 @@ func (p *Planner) setVNode(pl *planned, vn vexec.Node) {
 	pl.node = vexec.NewRowSource(vn)
 }
 
+// setEstNode records a cardinality estimate on a physical operator (both
+// engines embed obs.Card). Estimates below one row are annotated as one:
+// the planner's fractional bookkeeping floors (0.1) are meaningful for
+// cost comparison but "less than one row" is what they mean as output.
+func setEstNode(n any, est float64) {
+	if n == nil {
+		return
+	}
+	if est < 1 {
+		est = 1
+	}
+	if c, ok := n.(interface{ SetEstRows(float64) }); ok {
+		c.SetEstRows(est)
+	}
+}
+
+// setFragEst records est as the fragment's estimated output cardinality,
+// both in the planner's bookkeeping (join ordering, build-side choice)
+// and on the fragment's physical root — including the batch→row adapter
+// when the fragment is vectorized — for EXPLAIN ANALYZE's cardinality
+// feedback.
+func setFragEst(pl *planned, est float64) {
+	pl.est = est
+	setEstNode(pl.vnode, est)
+	setEstNode(pl.node, est)
+}
+
 // demote reverts a fragment that is still a bare columnar scan to the
 // row-engine scan. The adapter over a bare scan only boxes rows the heap
 // already stores, so a row-only consumer is strictly better off with the
@@ -173,6 +200,7 @@ func demote(pl *planned) {
 	if _, ok := pl.vnode.(*vexec.ColScan); ok {
 		pl.node = pl.rowScan()
 		pl.vnode = nil
+		setEstNode(pl.node, pl.est)
 	}
 }
 
@@ -186,15 +214,14 @@ func (p *Planner) attachFilter(pl *planned, e algebra.Expr) error {
 		return nil
 	}
 	binder := &rowBinder{p: p, layout: pl.layout}
-	defer func() {
-		pl.est *= p.selectivity(e, pl)
-		if pl.est < 0.1 {
-			pl.est = 0.1
-		}
-	}()
+	est := pl.est * p.selectivity(e, pl)
+	if est < 0.1 {
+		est = 0.1
+	}
 	if pl.vnode != nil {
 		if ve, err := vexec.CompileExpr(e, binder); err == nil && ve.Kind() == types.KindBool {
 			p.setVNode(pl, vexec.NewFilter(pl.vnode, ve))
+			setFragEst(pl, est)
 			return nil
 		}
 	}
@@ -205,6 +232,7 @@ func (p *Planner) attachFilter(pl *planned, e algebra.Expr) error {
 	}
 	pl.vnode = nil
 	pl.node = exec.NewFilter(pl.node, pred)
+	setFragEst(pl, est)
 	return nil
 }
 
@@ -225,7 +253,7 @@ func (p *Planner) planSetOp(q *algebra.Query) (*planned, error) {
 		return nil, err
 	}
 	est := pl.est
-	node, vnode, err := p.applySortLimit(q, pl.node, pl.vnode, len(q.TargetList))
+	node, vnode, err := p.applySortLimit(q, pl.node, pl.vnode, len(q.TargetList), est)
 	if err != nil {
 		return nil, err
 	}
@@ -268,11 +296,13 @@ func (p *Planner) foldSetOp(item algebra.SetOpItem, branches map[int]*planned) (
 			vso := vexec.NewVecSetOp(left.vnode, right.vnode, kind, n.All)
 			vso.Spill = p.spillRes("setop")
 			p.setVNode(out, vso)
+			setFragEst(out, out.est)
 			return out, nil
 		}
 		demote(left)
 		demote(right)
 		out.node = exec.NewSetOp(left.node, right.node, kind, n.All)
+		setFragEst(out, out.est)
 		return out, nil
 	default:
 		return nil, fmt.Errorf("plan: unknown set operation item %T", item)
@@ -312,7 +342,7 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 	est := input.est
 	if q.HasAggs {
 		est = p.aggEstimate(q, input)
-		node, vnode, err = p.planAggregation(q, input)
+		node, vnode, err = p.planAggregation(q, input, est)
 		if err != nil {
 			return nil, err
 		}
@@ -329,6 +359,8 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 			if ves, err := vexec.CompileExprs(exprs, &rowBinder{p: p, layout: input.layout}); err == nil {
 				vnode = vexec.NewProject(input.vnode, ves)
 				node = vexec.NewRowSource(vnode)
+				setEstNode(vnode, est)
+				setEstNode(node, est)
 			}
 		}
 		if node == nil {
@@ -339,6 +371,7 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 				return nil, err
 			}
 			node = exec.NewProject(input.node, fns)
+			setEstNode(node, est)
 		}
 		// Column provenance passes through the projection wherever an
 		// output expression is a bare column reference.
@@ -353,20 +386,25 @@ func (p *Planner) planPlain(q *algebra.Query) (*planned, error) {
 		}
 	}
 
-	// 3. DISTINCT.
+	// 3. DISTINCT. No distinct-count statistics exist over full output
+	// rows, so the duplicate elimination inherits its input estimate (an
+	// upper bound; the q-error feedback shows how loose it was).
 	if q.Distinct {
 		if vnode != nil {
 			vd := vexec.NewVecDistinct(vnode)
 			vd.Spill = p.spillRes("distinct")
 			vnode = vd
 			node = vexec.NewRowSource(vnode)
+			setEstNode(vnode, est)
+			setEstNode(node, est)
 		} else {
 			node = exec.NewDistinct(node)
+			setEstNode(node, est)
 		}
 	}
 
 	// 4. ORDER BY / LIMIT / OFFSET (strips hidden sort columns).
-	node, vnode, err = p.applySortLimit(q, node, vnode, outWidth)
+	node, vnode, err = p.applySortLimit(q, node, vnode, outWidth, est)
 	if err != nil {
 		return nil, err
 	}
@@ -436,8 +474,10 @@ const outputRT = -1
 // lowers to VecSort (or, with a LIMIT, to the limit-aware VecTopN heap),
 // a bare LIMIT/OFFSET to VecLimit. outWidth is the real output width;
 // hidden sort columns (if any) sit beyond it and are stripped by a
-// projection above the sort.
-func (p *Planner) applySortLimit(q *algebra.Query, node exec.Node, vnode vexec.Node, outWidth int) (exec.Node, vexec.Node, error) {
+// projection above the sort. est is the input fragment's cardinality
+// estimate, used only to annotate the constructed operators (sorts
+// preserve it, top-N/limit cap it at the row count they emit).
+func (p *Planner) applySortLimit(q *algebra.Query, node exec.Node, vnode vexec.Node, outWidth int, est float64) (exec.Node, vexec.Node, error) {
 	var count, offset int64 = -1, 0
 	if q.Limit != nil {
 		count = q.Limit.(*algebra.Const).Val.I
@@ -477,20 +517,25 @@ func (p *Planner) applySortLimit(q *algebra.Query, node exec.Node, vnode vexec.N
 			if count >= 0 {
 				vnode = vexec.NewVecTopN(vnode, keys, count, offset)
 				count, offset = -1, 0 // the heap applied them
+				est = limitEst(est, vnode.(*vexec.VecTopN).Count)
 			} else {
 				vs := vexec.NewVecSort(vnode, keys)
 				vs.Spill = p.spillRes("sort")
 				vnode = vs
 			}
+			setEstNode(vnode, est)
 			if strip != nil {
 				vnode = vexec.NewProject(vnode, strip)
+				setEstNode(vnode, est)
 			}
 			node = vexec.NewRowSource(vnode)
+			setEstNode(node, est)
 		} else {
 			vnode = nil
 			rs := exec.NewSort(node, keys)
 			rs.Spill = p.spillRes("sort")
 			node = rs
+			setEstNode(node, est)
 			if hidden > outWidth {
 				// Strip hidden columns.
 				fns := make([]eval.Func, outWidth)
@@ -499,18 +544,31 @@ func (p *Planner) applySortLimit(q *algebra.Query, node exec.Node, vnode vexec.N
 					fns[i] = func(ctx *eval.Ctx) (types.Value, error) { return ctx.Row[pos], nil }
 				}
 				node = exec.NewProject(node, fns)
+				setEstNode(node, est)
 			}
 		}
 	}
 	if count >= 0 || offset > 0 {
+		est = limitEst(est, count)
 		if vnode != nil {
 			vnode = vexec.NewVecLimit(vnode, count, offset)
 			node = vexec.NewRowSource(vnode)
+			setEstNode(vnode, est)
+			setEstNode(node, est)
 		} else {
 			node = exec.NewLimit(node, count, offset)
+			setEstNode(node, est)
 		}
 	}
 	return node, vnode, nil
+}
+
+// limitEst caps an estimate at a LIMIT count (negative: no limit).
+func limitEst(est float64, count int64) float64 {
+	if count >= 0 && float64(count) < est {
+		return float64(count)
+	}
+	return est
 }
 
 // ---------------------------------------------------------------------------
@@ -525,6 +583,7 @@ func (p *Planner) planFrom(q *algebra.Query) (*planned, error) {
 			rts:    map[int]bool{},
 			est:    1,
 		}
+		setEstNode(pl.node, pl.est)
 		if err := p.attachFilter(pl, q.Where); err != nil {
 			return nil, err
 		}
@@ -873,9 +932,9 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 		// back, because the residual takes part in the match decision.
 		if p.vectorized && left.vnode != nil && right.vnode != nil &&
 			(jt == exec.InnerJoin || (jt == exec.LeftJoin && len(residual) == 0)) {
-			if vj := p.tryVecHashJoin(left, right, leftKeyExprs, rightKeyExprs, nullSafe, residual, jt, combined); vj != nil {
+			if vj := p.tryVecHashJoin(left, right, leftKeyExprs, rightKeyExprs, nullSafe, residual, jt, combined, est); vj != nil {
 				p.setVNode(combined, vj)
-				combined.est = est
+				setFragEst(combined, est)
 				return combined, nil
 			}
 		}
@@ -900,7 +959,7 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 			}
 		}
 		combined.node = exec.NewHashJoin(left.node, right.node, lk, rk, nullSafe, res, jt, left.kinds, right.kinds)
-		combined.est = est
+		setFragEst(combined, est)
 		return combined, nil
 	}
 
@@ -925,10 +984,11 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 			nlj := vexec.NewNLJoin(left.vnode, right.vnode, vcond, vjt, left.kinds, right.kinds)
 			nlj.SetActivity(p.activity)
 			p.setVNode(combined, nlj)
-			combined.est = left.est * right.est
+			est := left.est * right.est
 			if cond != nil {
-				combined.est = combined.est*0.3 + 1
+				est = est*0.3 + 1
 			}
+			setFragEst(combined, est)
 			return combined, nil
 		}
 	}
@@ -943,10 +1003,11 @@ func (p *Planner) buildJoin(left, right *planned, kind algebra.JoinKind, cond al
 		}
 	}
 	combined.node = exec.NewNestedLoopJoin(left.node, right.node, condFn, jt, left.kinds, right.kinds)
-	combined.est = left.est * right.est
+	est := left.est * right.est
 	if cond != nil {
-		combined.est = combined.est*0.3 + 1
+		est = est*0.3 + 1
 	}
+	setFragEst(combined, est)
 	return combined, nil
 }
 
@@ -1170,7 +1231,7 @@ func constValue(e algebra.Expr) (types.Value, bool) {
 // bare column traced to a columnar scan gets a filter published by this
 // join's build and applied by that scan.
 func (p *Planner) tryVecHashJoin(left, right *planned, leftKeyExprs, rightKeyExprs []algebra.Expr,
-	nullSafe []bool, residual []algebra.Expr, jt exec.JoinType, combined *planned) vexec.Node {
+	nullSafe []bool, residual []algebra.Expr, jt exec.JoinType, combined *planned, est float64) vexec.Node {
 	lk, err := vexec.CompileExprs(leftKeyExprs, &rowBinder{p: p, layout: left.layout})
 	if err != nil {
 		return nil
@@ -1219,9 +1280,14 @@ func (p *Planner) tryVecHashJoin(left, right *planned, leftKeyExprs, rightKeyExp
 		}
 		vj.Publish = publish
 	}
+	setEstNode(vj, est)
 	var vn vexec.Node = vj
 	if res != nil {
+		// The caller's estimate already absorbs the residual's
+		// selectivity into the join estimate, so the filter above the
+		// join carries the same number.
 		vn = vexec.NewFilter(vn, res)
+		setEstNode(vn, est)
 	}
 	return vn
 }
@@ -1470,12 +1536,14 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 			if cols, n, ok := t.Heap.SnapshotColumns(kinds); ok {
 				heap := t.Heap
 				scan := vexec.NewColScan(cols, n)
+				scan.Table = rte.RelName
 				scan.SetActivity(p.activity)
 				infos := mkCols()
 				for i := range infos {
 					infos[i].scan, infos[i].scanCol = scan, i
 				}
 				aq := p.activity
+				relName := rte.RelName
 				pl := &planned{
 					layout: map[int]int{rt: 0},
 					kinds:  kinds,
@@ -1484,25 +1552,30 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 					est:    float64(n) + 1,
 					rowScan: func() exec.Node {
 						rs := exec.NewScan(heap.Snapshot())
+						rs.Table = relName
 						rs.SetActivity(aq)
 						return rs
 					},
 				}
 				p.setVNode(pl, scan)
+				setFragEst(pl, pl.est)
 				return pl, nil
 			}
 		}
 		rows := t.Heap.Snapshot()
 		rs := exec.NewScan(rows)
+		rs.Table = rte.RelName
 		rs.SetActivity(p.activity)
-		return &planned{
+		pl := &planned{
 			node:   rs,
 			layout: map[int]int{rt: 0},
 			kinds:  kinds,
 			cols:   mkCols(),
 			rts:    map[int]bool{rt: true},
 			est:    float64(len(rows)) + 1,
-		}, nil
+		}
+		setEstNode(pl.node, pl.est)
+		return pl, nil
 	case algebra.RTESubquery:
 		sub, err := p.planQuery(rte.Subquery)
 		if err != nil {
@@ -1543,13 +1616,15 @@ func (p *Planner) planRTE(rt int, rte *algebra.RTE) (*planned, error) {
 			}
 			rows = append(rows, row)
 		}
-		return &planned{
+		pl := &planned{
 			node:   exec.NewScan(rows),
 			layout: map[int]int{rt: 0},
 			kinds:  rte.Cols.Kinds(),
 			rts:    map[int]bool{rt: true},
 			est:    float64(len(rows)) + 1,
-		}, nil
+		}
+		setEstNode(pl.node, pl.est)
+		return pl, nil
 	default:
 		return nil, fmt.Errorf("plan: unknown RTE kind %d", rte.Kind)
 	}
@@ -1571,20 +1646,25 @@ func (p *Planner) planVirtual(rt int, rte *algebra.RTE, v *catalog.VirtualTable)
 	if p.vectorized {
 		if cols, ok := vector.FromRows(rows, kinds); ok {
 			scan := vexec.NewColScan(cols, len(rows))
+			scan.Table = v.Name
 			scan.SetActivity(p.activity)
 			aq := p.activity
 			pl.rowScan = func() exec.Node {
 				rs := exec.NewScan(rows)
+				rs.Table = v.Name
 				rs.SetActivity(aq)
 				return rs
 			}
 			p.setVNode(pl, scan)
+			setFragEst(pl, pl.est)
 			return pl, nil
 		}
 	}
 	rs := exec.NewScan(rows)
+	rs.Table = v.Name
 	rs.SetActivity(p.activity)
 	pl.node = rs
+	setEstNode(pl.node, pl.est)
 	return pl, nil
 }
 
@@ -1598,7 +1678,7 @@ func (p *Planner) planVirtual(rt int, rte *algebra.RTE, v *catalog.VirtualTable)
 // projection each stay vectorized as long as their expressions compile
 // for the batch engine; the first unsupported stage drops to the row
 // engine over the vectorized prefix.
-func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, vexec.Node, error) {
+func (p *Planner) planAggregation(q *algebra.Query, input *planned, est float64) (exec.Node, vexec.Node, error) {
 	// Collect distinct aggregate references from targets, HAVING and
 	// ORDER BY expressions.
 	var aggRefs []*algebra.AggRef
@@ -1628,6 +1708,8 @@ func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, 
 		if vn := p.tryVecAgg(q, input, aggRefs); vn != nil {
 			vnode = vn
 			node = vexec.NewRowSource(vn)
+			setEstNode(vnode, est)
+			setEstNode(node, est)
 		}
 	}
 	if node == nil {
@@ -1666,6 +1748,7 @@ func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, 
 			specs[i] = spec
 		}
 		node = exec.NewHashAgg(input.node, groupFns, specs)
+		setEstNode(node, est)
 	}
 
 	// Aggregate output layout: group values 0..G-1, aggregates G..G+A-1.
@@ -1684,6 +1767,8 @@ func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, 
 			if ve, verr := vexec.CompileExpr(mapped, &flatBinder{p: p}); verr == nil && ve.Kind() == types.KindBool {
 				vnode = vexec.NewFilter(vnode, ve)
 				node = vexec.NewRowSource(vnode)
+				setEstNode(vnode, est)
+				setEstNode(node, est)
 				attached = true
 			}
 		}
@@ -1693,6 +1778,7 @@ func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, 
 				return nil, nil, err
 			}
 			node = exec.NewFilter(node, pred)
+			setEstNode(node, est)
 			vnode = nil
 		}
 	}
@@ -1715,14 +1801,19 @@ func (p *Planner) planAggregation(q *algebra.Query, input *planned) (exec.Node, 
 	if vnode != nil {
 		if ves, verr := vexec.CompileExprs(exprs, &flatBinder{p: p}); verr == nil {
 			vnode = vexec.NewProject(vnode, ves)
-			return vexec.NewRowSource(vnode), vnode, nil
+			setEstNode(vnode, est)
+			rs := vexec.NewRowSource(vnode)
+			setEstNode(rs, est)
+			return rs, vnode, nil
 		}
 	}
 	fns, err := eval.CompileAll(exprs, aggBinder)
 	if err != nil {
 		return nil, nil, err
 	}
-	return exec.NewProject(node, fns), nil, nil
+	proj := exec.NewProject(node, fns)
+	setEstNode(proj, est)
+	return proj, nil, nil
 }
 
 // tryVecAgg compiles the aggregation itself for the batch engine:

@@ -17,6 +17,52 @@ func TestNormalize(t *testing.T) {
 	}
 }
 
+// TestNormalizeNegativeLiterals pins the unary-minus fold: a sign
+// directly before a number after an opener, separator or operator is
+// part of the literal, while binary subtraction keeps its operator.
+func TestNormalizeNegativeLiterals(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT a FROM t WHERE b = -5", "select a from t where b = ?"},
+		{"SELECT a FROM t WHERE b > -2.5e3", "select a from t where b > ?"},
+		{"INSERT INTO t VALUES (-1, -2)", "insert into t values (?, ?)"},
+		{"SELECT a - 5 FROM t", "select a - ? from t"},
+		{"SELECT a -5 FROM t", "select a -? from t"}, // still subtraction
+		{"SELECT a - -5 FROM t", "select a - ? from t"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Fatalf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if Fingerprint("SELECT a FROM t WHERE b = -5") != Fingerprint("SELECT a FROM t WHERE b = 17") {
+		t.Fatal("negative and positive literal variants fingerprint differently")
+	}
+}
+
+// TestNormalizeInListArity pins the IN-list collapse: lists of literals
+// normalize to one placeholder regardless of arity, while lists
+// containing anything but literals are preserved.
+func TestNormalizeInListArity(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT a FROM t WHERE b IN (1, 2)", "select a from t where b in (?)"},
+		{"SELECT a FROM t WHERE b IN (1,2,3)", "select a from t where b in (?)"},
+		{"SELECT a FROM t WHERE b IN(-1, 'x')", "select a from t where b in (?)"},
+		{"SELECT a FROM t WHERE b IN (c, 2)", "select a from t where b in (c, ?)"},
+		{"SELECT a FROM t WHERE b IN (SELECT a FROM s)", "select a from t where b in (select a from s)"},
+		{"SELECT inv FROM t WHERE inv = 3", "select inv from t where inv = ?"}, // "in" prefix of identifier
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Fatalf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	a := Fingerprint("SELECT a FROM t WHERE b IN (1, 2)")
+	b := Fingerprint("SELECT a FROM t WHERE b IN (4, 5, 6, 7)")
+	if a != b {
+		t.Fatalf("IN-list arity variants fingerprint differently: %s vs %s", a, b)
+	}
+}
+
 // TestFingerprint pins the parameterization property: same shape,
 // different literals → same fingerprint; different shape → different.
 func TestFingerprint(t *testing.T) {

@@ -16,8 +16,11 @@ package qcache
 import (
 	"container/list"
 	"hash/maphash"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"perm/internal/obs"
 )
 
 // numShards spreads contention across independently-locked LRU shards.
@@ -103,11 +106,15 @@ func (c *Cache) Get(key string, version uint64) (any, bool) {
 	}
 	n := el.Value.(*node)
 	if n.entry.Version != version {
+		stale := n.entry.Version
 		s.order.Remove(el)
 		delete(s.items, key)
 		s.mu.Unlock()
 		c.invalidations.Add(1)
 		c.misses.Add(1)
+		obs.Events.Record(obs.EventCacheInvalidation, "", "",
+			"compiled artifact from catalog version "+strconv.FormatUint(stale, 10)+
+				" dropped at version "+strconv.FormatUint(version, 10))
 		return nil, false
 	}
 	s.order.MoveToFront(el)

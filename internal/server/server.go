@@ -201,6 +201,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			s.connWg.Add(1)
 			s.mu.Unlock()
 			obs.ConnsShed.Inc()
+			obs.Events.Record(obs.EventAdmissionShed, "", "", "connection refused: connection limit reached")
 			go s.refuse(conn, wire.CodeOverloaded, "connection limit reached: retry later")
 			continue
 		}
@@ -327,6 +328,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			case s.admit <- struct{}{}:
 			default:
 				obs.ConnsShed.Inc()
+				obs.Events.Record(obs.EventAdmissionShed, "", "", "request shed: admission queue full")
 				s.errsTotal.Inc()
 				err := s.writeResponse(conn, wire.ErrorResponseCode(wire.CodeOverloaded, "server overloaded: admission queue full, retry with backoff"))
 				s.reqWg.Done()
@@ -401,6 +403,7 @@ func (s *Server) safeDispatch(sess *session.Session, req *wire.Request) (resp *w
 	defer func() {
 		if p := recover(); p != nil {
 			obs.PanicsRecovered.Inc()
+			obs.Events.Record(obs.EventPanicRecovered, "", "", fmt.Sprintf("panic in %s: %v", req.Op, p))
 			fmt.Fprintf(os.Stderr, "permd: recovered panic in %s: %v\n%s", req.Op, p, debug.Stack())
 			resp = wire.ErrorResponseCode(wire.CodeInternal, fmt.Sprintf("internal error: statement panicked: %v", p))
 		}

@@ -20,6 +20,7 @@ import (
 // decision, so left joins with arbitrary residual conditions are
 // supported.
 type NLJoin struct {
+	obs.Card
 	Left, Right Node
 	Cond        *Expr // nil = cross join
 	Type        JoinType

@@ -193,6 +193,7 @@ type exItem struct {
 // plan's output stream byte for byte. Worker errors are tagged like data
 // and surface exactly when the serial plan would have reached them.
 type Exchange struct {
+	obs.Card
 	Workers []*MorselTap
 	Disp    *Morsels
 
@@ -250,6 +251,7 @@ func (e *Exchange) run(i int) {
 		}
 		if p != nil {
 			obs.PanicsRecovered.Inc()
+			obs.Events.Record(obs.EventPanicRecovered, "", "", fmt.Sprintf("parallel worker panicked: %v", p))
 			e.send(i, exItem{tag: -1, err: fmt.Errorf("parallel worker panicked: %v", p)})
 		}
 	}()
@@ -362,6 +364,7 @@ func (e *Exchange) Close() error {
 // this way (the planner keeps float SUM/AVG accumulation serial), so
 // either path is bit-identical to a single-threaded pass.
 type ParallelAgg struct {
+	obs.Card
 	Workers []*HashAgg
 	Disp    *Morsels
 
@@ -518,6 +521,7 @@ func (pa *ParallelAgg) Close() error {
 // resolves them by input order — with the hidden column stripped on
 // emission.
 type ParallelSort struct {
+	obs.Card
 	Workers []*VecSort
 	Disp    *Morsels
 	Keys    []exec.SortKey
@@ -664,6 +668,7 @@ func openConcurrently(n int, open func(i int) error) []error {
 			defer func() {
 				if p := recover(); p != nil {
 					obs.PanicsRecovered.Inc()
+					obs.Events.Record(obs.EventPanicRecovered, "", "", fmt.Sprintf("parallel worker panicked in Open: %v", p))
 					errs[i] = fmt.Errorf("%w in Open: %v", errWorkerPanic, p)
 				}
 			}()

@@ -12,6 +12,7 @@ package vexec
 
 import (
 	"perm/internal/exec"
+	"perm/internal/obs"
 	"perm/internal/spill"
 	"perm/internal/types"
 	"perm/internal/vector"
@@ -21,6 +22,7 @@ import (
 // column kinds match exactly (the planner checks; mismatched branches
 // stay on the row engine).
 type VecSetOp struct {
+	obs.Card
 	Left, Right Node
 	Kind        exec.SetOpKind
 	All         bool

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"perm/internal/exec"
+	"perm/internal/obs"
 	"perm/internal/spill"
 	"perm/internal/types"
 	"perm/internal/vector"
@@ -105,6 +106,7 @@ func (e *emitter) close() {
 // a fan-in-capped multi-pass k-way merge whose order is identical to the
 // in-memory sort's.
 type VecSort struct {
+	obs.Card
 	Input Node
 	Keys  []exec.SortKey
 	Spill spill.Resources
@@ -271,6 +273,7 @@ func (s *VecSort) Close() error {
 // order with the offset skipped. Ties resolve by input order, matching
 // the row engine's stable sort + LIMIT.
 type VecTopN struct {
+	obs.Card
 	Input  Node
 	Keys   []exec.SortKey
 	Count  int64 // ≥ 0
@@ -448,6 +451,7 @@ func (t *VecTopN) Close() error {
 // materializing anything; it stops pulling its input once the count is
 // satisfied. A negative Count means no limit (offset only).
 type VecLimit struct {
+	obs.Card
 	Input   Node
 	Count   int64
 	Offset  int64
@@ -511,6 +515,7 @@ func (l *VecLimit) Close() error { return l.Input.Close() }
 // streaming phase) and a final merge on the sequence numbers emits the
 // remaining first occurrences in exactly the in-memory order.
 type VecDistinct struct {
+	obs.Card
 	Input Node
 	Spill spill.Resources
 

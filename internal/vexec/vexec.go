@@ -62,9 +62,14 @@ const (
 // windows, applying any runtime join filters pushed down onto it as an
 // extra selection pass before the batch leaves the scan.
 type ColScan struct {
+	obs.Card
 	Cols    []*vector.Vec
 	NumRows int
-	pos     int
+	// Table names the relation this scan reads (not rendered in EXPLAIN;
+	// folded into the structural plan hash so scans of equally-sized
+	// relations stay distinguishable).
+	Table string
+	pos   int
 
 	// Morsel dispatch (parallel plans): instead of iterating [0, NumRows)
 	// the scan claims morsels from the shared dispatcher and windows only
@@ -238,6 +243,7 @@ func (s *ColScan) Close() error { return nil }
 // Filter narrows each batch's selection vector to the rows where the
 // predicate is TRUE; batches with no surviving rows are skipped.
 type Filter struct {
+	obs.Card
 	Input  Node
 	Pred   *Expr
 	selBuf []int
@@ -298,6 +304,7 @@ func (f *Filter) Close() error { return f.Input.Close() }
 // vector through unchanged. Output vectors it owns (kernel results) are
 // recycled once the consumer abandons the emitted batch.
 type Project struct {
+	obs.Card
 	Input Node
 	Exprs []*Expr
 
@@ -373,6 +380,7 @@ const (
 // plus Bloom filter over the build keys) so probe-side scans can prune
 // tuples before they ever reach the join.
 type HashJoin struct {
+	obs.Card
 	Left, Right Node
 	LeftKeys    []*Expr
 	RightKeys   []*Expr
@@ -781,6 +789,7 @@ type AggSpec struct {
 // the drain (repartitioning recursively on skew) and a final merge on
 // the sequence numbers reproduces the exact in-memory group order.
 type HashAgg struct {
+	obs.Card
 	Input  Node
 	Groups []*Expr
 	Aggs   []AggSpec
@@ -1458,6 +1467,7 @@ func (h *HashAgg) Close() error {
 // expressions) and the top-level result sink consume vectorized subtrees
 // through it.
 type RowSource struct {
+	obs.Card
 	Input Node
 	batch *vector.Batch
 	idx   int

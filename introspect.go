@@ -31,6 +31,8 @@ type engineCore struct {
 	tracer     *obs.Tracer
 	activity   *obs.Activity
 	stmts      *obs.StmtStats
+	ests       *obs.EstStore
+	plans      *obs.PlanStore
 
 	metricsOnce sync.Once
 	metricsReg  *obs.Registry
@@ -41,6 +43,8 @@ func newEngineCore() *engineCore {
 		tracer:   obs.NewTracer(obs.DefaultTraceCapacity),
 		activity: obs.NewActivity(),
 		stmts:    obs.NewStmtStats(0),
+		ests:     obs.NewEstStore(0),
+		plans:    obs.NewPlanStore(0, 0),
 	}
 }
 
@@ -82,7 +86,11 @@ func (db *Database) SessionID() int64 { return db.sessionID }
 // error; other queries are unaffected. Cancel fails when no such query
 // is running.
 func (db *Database) Cancel(queryID string) error {
-	return db.eng.activity.Cancel(queryID)
+	err := db.eng.activity.Cancel(queryID)
+	if err == nil {
+		obs.Events.Record(obs.EventCancel, queryID, "", "cancellation requested")
+	}
+	return err
 }
 
 // QueryInfo identifies the last statement this handle ran, for
@@ -120,6 +128,11 @@ type queryRun struct {
 	// timer is the armed statement-timeout deadline (nil when the handle
 	// has no timeout configured); finish stops it.
 	timer *time.Timer
+	// fresh marks that this statement's compiled artifact was built this
+	// run (a cache miss): the execution that follows hashes its physical
+	// plan into the plan-flip store. Cache hits replay a tree the store
+	// has already seen, so hashing them would only re-render plans.
+	fresh bool
 }
 
 // beginQuery registers a statement with the engine: allocates its query
@@ -156,6 +169,8 @@ func (db *Database) beginQuery(text string) *queryRun {
 		qr.timer = time.AfterFunc(d, func() {
 			if aq.CancelTimeout(d) {
 				obs.StatementTimeouts.Inc()
+				obs.Events.Record(obs.EventStatementTimeout, aq.ID, aq.Fingerprint,
+					"statement timeout after "+d.String())
 			}
 		})
 	}
@@ -196,8 +211,10 @@ func (qr *queryRun) finish(err error) {
 	}
 	qr.trace.End(qr.span)
 	eng := qr.db.eng
+	dur := time.Since(qr.start)
 	eng.activity.Deregister(qr.aq)
-	eng.stmts.Observe(qr.aq.Fingerprint, qr.norm, time.Since(qr.start), qr.aq.Rows(), err != nil)
+	eng.stmts.Observe(qr.aq.Fingerprint, qr.norm, dur, qr.aq.Rows(), err != nil)
+	eng.plans.NoteExec(qr.aq.Fingerprint, dur.Nanoseconds())
 	if qr.trace != nil {
 		eng.tracer.Store.Put(qr.trace)
 	}
@@ -329,6 +346,104 @@ func registerSystemViews(db *Database) {
 						types.NewInt(sp.Rows),
 					})
 				}
+			}
+			return rows
+		},
+	})
+
+	mustRegister(&catalog.VirtualTable{
+		Name: "perm_stat_estimates",
+		Cols: []catalog.Column{
+			{Name: "fingerprint", Type: types.KindString},
+			{Name: "query", Type: types.KindString},
+			{Name: "analyzed", Type: types.KindInt},
+			{Name: "ops", Type: types.KindInt},
+			{Name: "max_qerr", Type: types.KindFloat},
+			{Name: "mean_qerr", Type: types.KindFloat},
+			{Name: "worst_op", Type: types.KindString},
+			{Name: "worst_est", Type: types.KindFloat},
+			{Name: "worst_act", Type: types.KindInt},
+			{Name: "last_seen_ms", Type: types.KindFloat},
+		},
+		Rows: func() []types.Row {
+			snap := eng.ests.Snapshot()
+			rows := make([]types.Row, 0, len(snap))
+			for i := range snap {
+				r := &snap[i]
+				rows = append(rows, types.Row{
+					types.NewString(r.Fingerprint),
+					types.NewString(r.Query),
+					types.NewInt(r.Analyzed),
+					types.NewInt(r.Ops),
+					types.NewFloat(r.MaxQErr),
+					types.NewFloat(r.MeanQErr()),
+					types.NewString(r.WorstOp),
+					types.NewFloat(r.WorstEst),
+					types.NewInt(r.WorstAct),
+					types.NewFloat(float64(time.Since(r.LastSeen).Nanoseconds()) / 1e6),
+				})
+			}
+			return rows
+		},
+	})
+
+	mustRegister(&catalog.VirtualTable{
+		Name: "perm_stat_plans",
+		Cols: []catalog.Column{
+			{Name: "fingerprint", Type: types.KindString},
+			{Name: "query", Type: types.KindString},
+			{Name: "old_plan", Type: types.KindString},
+			{Name: "new_plan", Type: types.KindString},
+			{Name: "trigger", Type: types.KindString},
+			{Name: "flips", Type: types.KindInt},
+			{Name: "age_ms", Type: types.KindFloat},
+			{Name: "before_mean_ms", Type: types.KindFloat},
+			{Name: "after_mean_ms", Type: types.KindFloat},
+		},
+		Rows: func() []types.Row {
+			flips := eng.plans.Flips()
+			rows := make([]types.Row, 0, len(flips))
+			for i := range flips {
+				f := &flips[i]
+				rows = append(rows, types.Row{
+					types.NewString(f.Fingerprint),
+					types.NewString(f.Query),
+					types.NewString(fmt.Sprintf("%016x", f.OldHash)),
+					types.NewString(fmt.Sprintf("%016x", f.NewHash)),
+					types.NewString(f.Trigger),
+					types.NewInt(f.Flips),
+					types.NewFloat(float64(time.Since(f.At).Nanoseconds()) / 1e6),
+					types.NewFloat(float64(f.BeforeMeanNS) / 1e6),
+					types.NewFloat(float64(f.AfterMeanNS) / 1e6),
+				})
+			}
+			return rows
+		},
+	})
+
+	mustRegister(&catalog.VirtualTable{
+		Name: "perm_events",
+		Cols: []catalog.Column{
+			{Name: "seq", Type: types.KindInt},
+			{Name: "age_ms", Type: types.KindFloat},
+			{Name: "kind", Type: types.KindString},
+			{Name: "query_id", Type: types.KindString},
+			{Name: "fingerprint", Type: types.KindString},
+			{Name: "detail", Type: types.KindString},
+		},
+		Rows: func() []types.Row {
+			snap := obs.Events.Snapshot()
+			rows := make([]types.Row, 0, len(snap))
+			for i := range snap {
+				e := &snap[i]
+				rows = append(rows, types.Row{
+					types.NewInt(e.Seq),
+					types.NewFloat(float64(time.Since(e.At).Nanoseconds()) / 1e6),
+					types.NewString(e.Kind),
+					types.NewString(e.QueryID),
+					types.NewString(e.Fingerprint),
+					types.NewString(e.Detail),
+				})
 			}
 			return rows
 		},

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"perm/internal/algebra"
+	"perm/internal/exec"
 	"perm/internal/obs"
 	"perm/internal/plan"
 	"perm/internal/qcache"
@@ -71,6 +72,12 @@ func (db *Database) analyzeSelect(sel *sql.SelectStmt, cacheText, fpText string,
 	if err != nil {
 		return nil, "", err
 	}
+	// Key plan health on the bare statement, not the session's
+	// EXPLAIN ANALYZE-prefixed text, so estimates and flips join
+	// against perm_stat_statements rows for the plain statement.
+	norm := qcache.Normalize(fpText)
+	fp := qcache.FingerprintNormalized(norm)
+	db.notePlanHashAs(qr, fp, norm, node)
 	// Instrument after planning (and after parallelize): plan validation
 	// never sees a probe, and worker subtrees stay unwrapped.
 	node = plan.Instrument(node)
@@ -95,6 +102,9 @@ func (db *Database) analyzeSelect(sel *sql.SelectStmt, cacheText, fpText string,
 			qr.trace.Add(sp)
 		}
 	}
+	if qr != nil {
+		db.eng.ests.Observe(fp, norm, plan.OperatorEstimates(node))
+	}
 	post := db.budget.Stats()
 	res.Rows = make([][]Value, len(rows))
 	for i, r := range rows {
@@ -105,8 +115,51 @@ func (db *Database) analyzeSelect(sel *sql.SelectStmt, cacheText, fpText string,
 		res.Rows[i] = vr
 	}
 	report := plan.ExplainAnalyzed(node, total, post.Peak, post.BytesSpilled-pre.BytesSpilled) +
-		"Fingerprint: " + qcache.Fingerprint(fpText) + "\n"
+		"Fingerprint: " + fp + "\n"
 	return res, report, nil
+}
+
+// TopMisestimates returns the engine's n worst per-fingerprint
+// cardinality misestimates, worst first (all of them when n <= 0) —
+// the same records perm_stat_estimates serves, for tooling that wants
+// them without a SQL round-trip. Records accumulate from EXPLAIN
+// ANALYZE executions only; plain queries are never instrumented.
+func (db *Database) TopMisestimates(n int) []obs.EstRecord {
+	snap := db.eng.ests.Snapshot()
+	if n > 0 && len(snap) > n {
+		snap = snap[:n]
+	}
+	return snap
+}
+
+// notePlanHash feeds one freshly compiled statement's physical plan hash
+// into the plan-flip store. Only executions following a cache miss are
+// hashed (qr.fresh): a cache hit replays an artifact whose plan the
+// store already saw, so the hot path never renders a plan. A flip —
+// the same fingerprint compiling to a structurally different plan —
+// bumps perm_plan_flips_total and lands in the engine event log.
+func (db *Database) notePlanHash(qr *queryRun, node exec.Node) {
+	if qr == nil {
+		return
+	}
+	db.notePlanHashAs(qr, qr.aq.Fingerprint, qr.norm, node)
+}
+
+// notePlanHashAs is notePlanHash with an explicit fingerprint and
+// normalized text — analyzeSelect records under the bare statement's
+// identity even when the session ran it as EXPLAIN ANALYZE.
+func (db *Database) notePlanHashAs(qr *queryRun, fp, norm string, node exec.Node) {
+	if qr == nil || !qr.fresh {
+		return
+	}
+	qr.fresh = false
+	h := plan.Hash(node)
+	old, flipped := db.eng.plans.ObservePlan(fp, norm, h, int64(db.cat.Version()), db.optsKey)
+	if flipped {
+		obs.PlanFlips.Inc()
+		obs.Events.Record(obs.EventPlanFlip, qr.aq.ID, fp,
+			fmt.Sprintf("plan %016x -> %016x", old, h))
+	}
 }
 
 // stripExplainPrefix removes a leading EXPLAIN ANALYZE from a statement
@@ -210,6 +263,15 @@ func (db *Database) buildMetrics() *obs.Registry {
 		func() float64 { return float64(db.eng.activity.Len()) })
 	r.ReadFunc("perm_traces_stored", "Completed query traces held in the trace ring.", obs.TypeGauge, "",
 		func() float64 { return float64(db.eng.tracer.Store.Len()) })
+
+	r.CounterVar("perm_plan_flips_total", "Fingerprints recompiled to a structurally different physical plan.", "", &obs.PlanFlips)
+	r.CounterVar("perm_stmt_evictions_total", "Fingerprints evicted from the per-statement statistics store.", "", &obs.StmtEvictions)
+	r.ReadFunc("perm_plan_fingerprints", "Fingerprints tracked by the plan-flip store.", obs.TypeGauge, "",
+		func() float64 { return float64(db.eng.plans.Len()) })
+	r.ReadFunc("perm_estimate_fingerprints", "Fingerprints tracked by the misestimation store.", obs.TypeGauge, "",
+		func() float64 { return float64(db.eng.ests.Len()) })
+	r.ReadFunc("perm_events_recorded_total", "Events appended to the engine event log.", obs.TypeCounter, "",
+		func() float64 { return float64(obs.Events.LastSeq()) })
 	r.RawCollector(db.eng.stmts.WritePrometheus)
 	return r
 }

@@ -561,6 +561,9 @@ func (db *Database) compileSelect(sel *sql.SelectStmt, text string, qr *queryRun
 	if err != nil {
 		return nil, err
 	}
+	if qr != nil {
+		qr.fresh = true
+	}
 	if !db.opts.DisableQueryCache && text != "" {
 		db.cache.Put(db.optsKey+"\x00"+text, q, ver)
 	}
@@ -580,6 +583,7 @@ func (db *Database) executeCompiled(q *algebra.Query, into string, qr *queryRun)
 	if err != nil {
 		return nil, err
 	}
+	db.notePlanHash(qr, node)
 	schema := q.Schema()
 	res := &Result{
 		Columns:     schema.Names(),
